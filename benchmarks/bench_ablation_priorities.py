@@ -1,0 +1,41 @@
+"""Ablation: Chameleon-style priorities on the Cholesky critical path.
+
+dmdas sorts queues by task priority; with priorities removed, panel tasks
+(POTRF/TRSM) wait behind bulk GEMM updates and the critical path stretches.
+"""
+
+from repro.experiments.runner import ExperimentResult
+from repro.hardware.catalog import build_platform
+from repro.linalg import assign_priorities, potrf_graph
+from repro.runtime import RuntimeSystem
+from repro.sim import Simulator
+
+PLATFORM = "32-AMD-4-A100"
+
+
+def _one(scheme: str) -> float:
+    sim = Simulator()
+    node = build_platform(PLATFORM, sim)
+    rt = RuntimeSystem(node, scheduler="dmdas", seed=1)
+    graph, _ = potrf_graph(2880 * 20, 2880, "double")
+    assign_priorities(graph, scheme=scheme)
+    return rt.run(graph).makespan_s
+
+
+def _run():
+    result = ExperimentResult(
+        name="ablation-priorities",
+        title="POTRF dp on 32-AMD-4-A100: critical-path priorities vs none (dmdas)",
+        headers=["priorities", "makespan_s"],
+    )
+    for scheme in ("cp", "none"):
+        result.rows.append((scheme, round(_one(scheme), 4)))
+    return result
+
+
+def bench_ablation_priorities(benchmark, report):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report(result)
+    cp = result.row_by("priorities", "cp")[1]
+    none = result.row_by("priorities", "none")[1]
+    assert cp <= none * 1.02, "priorities should not hurt the critical path"

@@ -1,0 +1,42 @@
+"""Ablation: scheduler policy under the BBBB configuration.
+
+The paper's adaptation story rests on the dequeue-model family; this bench
+runs the same capped GEMM under every policy.  Model-free policies (eager,
+random, ws) let slow CPU cores grab GEMM tiles and collapse.
+"""
+
+from repro.core.capconfig import CapConfig
+from repro.core.tradeoff import OperationSpec, run_operation
+from repro.experiments.platforms import cap_states
+from repro.experiments.runner import ExperimentResult
+from repro.runtime.schedulers import SCHEDULERS
+
+PLATFORM = "32-AMD-4-A100"
+
+
+def _run():
+    spec = OperationSpec(op="gemm", n=5760 * 7, nb=5760, precision="double")
+    states = cap_states(PLATFORM, "gemm", "double", "tiny")
+    result = ExperimentResult(
+        name="ablation-scheduler",
+        title="GEMM dp on 32-AMD-4-A100 under BBBB, per scheduling policy",
+        headers=["scheduler", "gflops", "energy_J", "eff_gflops_per_W", "gpu_task_frac"],
+    )
+    for name in sorted(SCHEDULERS):
+        m = run_operation(PLATFORM, spec, CapConfig("BBBB"), states,
+                          scheduler=name, seed=1)
+        result.rows.append(
+            (name, round(m.gflops, 1), round(m.energy_j, 1),
+             round(m.efficiency, 2), round(m.gpu_task_fraction, 3))
+        )
+    return result
+
+
+def bench_ablation_scheduler(benchmark, report):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report(result)
+    perf = {r[0]: r[1] for r in result.rows}
+    # The calibrated dequeue-model family crushes the model-free policies.
+    assert perf["dmdas"] > 2 * perf["random"]
+    assert perf["dmdas"] > 2 * perf["eager"]
+    assert perf["dm"] > 2 * perf["random"]

@@ -1,0 +1,51 @@
+"""Extension bench: global power budget over a heterogeneous GPU farm.
+
+Cluster-level capping ([26], [27] in the paper's related work): sweep the
+facility budget and compare uniform splitting against marginal-throughput
+water-filling on a mixed A100/V100 farm.
+"""
+
+import pytest
+
+from repro.cluster import FarmGPU, GPUFarm, allocate_uniform, allocate_waterfill
+from repro.experiments.runner import ExperimentResult
+from repro.kernels.gemm import GemmKernel
+
+MODELS = ["A100-SXM4-40GB", "A100-SXM4-40GB", "V100-PCIE-32GB", "V100-PCIE-32GB"]
+
+
+def _run():
+    farm = GPUFarm([FarmGPU(m, GemmKernel.square(5120, "double")) for m in MODELS])
+    result = ExperimentResult(
+        name="extension-cluster-budget",
+        title="Budget sweep on a 2xA100-SXM4 + 2xV100 farm (GEMM dp)",
+        headers=[
+            "budget_W", "uniform_gflops", "waterfill_gflops", "gain_pct",
+            "waterfill_caps_W",
+        ],
+    )
+    for budget in (500.0, 620.0, 740.0, 860.0, 980.0, 1100.0, 1300.0):
+        uni = farm.total_throughput(allocate_uniform(farm, budget))
+        caps = allocate_waterfill(farm, budget)
+        wf = farm.total_throughput(caps)
+        result.rows.append(
+            (
+                budget,
+                round(uni, 0),
+                round(wf, 0),
+                round(100 * (wf / uni - 1), 2),
+                "/".join(f"{c:.0f}" for c in caps),
+            )
+        )
+    return result
+
+
+def bench_extension_cluster_budget(benchmark, report):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report(result)
+    gains = result.column("gain_pct")
+    # Water-filling never loses, and wins clearly in the mid-budget regime.
+    assert all(g >= -0.5 for g in gains)
+    assert max(gains) > 2.0
+    # At a generous budget both run everything flat out: gains vanish.
+    assert gains[-1] == pytest.approx(0.0, abs=0.5)

@@ -1,0 +1,41 @@
+"""Extension bench: energy-aware dmdae vs dmdas under unbalanced caps.
+
+The paper's future work asks for scheduling that optimises energy
+efficiency directly.  Under HHBB the capped GPUs are the frugal ones; dmdae
+shifts work toward them, trading a little makespan for energy.
+"""
+
+from repro.core.capconfig import CapConfig
+from repro.core.tradeoff import OperationSpec, run_operation
+from repro.experiments.platforms import cap_states
+from repro.experiments.runner import ExperimentResult
+
+PLATFORM = "32-AMD-4-A100"
+
+
+def _run():
+    spec = OperationSpec(op="gemm", n=5760 * 7, nb=5760, precision="double")
+    states = cap_states(PLATFORM, "gemm", "double", "tiny")
+    result = ExperimentResult(
+        name="extension-dmdae",
+        title="GEMM dp on 32-AMD-4-A100 under HHBB: dmdas vs energy-aware dmdae",
+        headers=["scheduler", "gflops", "energy_J", "eff_gflops_per_W"],
+    )
+    for name in ("dmdas", "dmdae"):
+        m = run_operation(PLATFORM, spec, CapConfig("HHBB"), states,
+                          scheduler=name, seed=1)
+        result.rows.append(
+            (name, round(m.gflops, 1), round(m.energy_j, 1), round(m.efficiency, 2))
+        )
+    return result
+
+
+def bench_extension_dmdae(benchmark, report):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report(result)
+    dmdas = result.row_by("scheduler", "dmdas")
+    dmdae = result.row_by("scheduler", "dmdae")
+    # The energy-aware variant must stay in the same performance class and
+    # not waste energy relative to dmdas.
+    assert dmdae[1] > dmdas[1] * 0.7
+    assert dmdae[3] > dmdas[3] * 0.95

@@ -1,0 +1,50 @@
+"""Extension bench: dynamic cap governor vs the offline sweep optimum.
+
+The DEPO-style governor (paper future work) converges online to the same
+best cap the Sec. II offline sweep finds, per GPU model and precision.
+"""
+
+from repro import nvml
+from repro.core.dynamic import DynamicCapGovernor
+from repro.core.sweep import best_point, sweep_gemm
+from repro.experiments.runner import ExperimentResult
+from repro.hardware.catalog import gpu_models, gpu_spec
+from repro.hardware.gpu import GPUDevice
+from repro.kernels.gemm import GemmKernel
+from repro.sim import Simulator
+
+
+def _run():
+    result = ExperimentResult(
+        name="extension-governor",
+        title="Dynamic governor convergence vs offline sweep optimum",
+        headers=["GPU", "precision", "governor_cap_W", "sweep_cap_W", "epochs"],
+    )
+    for model in gpu_models():
+        for precision in ("double", "single"):
+            spec = gpu_spec(model)
+            sim = Simulator()
+            gpu = GPUDevice(spec, 0, sim)
+
+            class _Node:
+                gpus = [gpu]
+
+            nvml.nvmlInit(_Node())
+            try:
+                gov = DynamicCapGovernor(gpu, sim, step_w=max(5.0, spec.tdp_w / 50))
+                final = gov.tune(GemmKernel.square(5120, precision))
+            finally:
+                nvml.nvmlShutdown()
+            sweep_best = best_point(sweep_gemm(model, 5120, precision)).cap_w
+            result.rows.append(
+                (model, precision, round(final, 0), round(sweep_best, 0),
+                 len(gov.history))
+            )
+    return result
+
+
+def bench_extension_governor(benchmark, report):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report(result)
+    for row in result.rows:
+        assert abs(row[2] - row[3]) <= 30, f"governor far from sweep: {row}"

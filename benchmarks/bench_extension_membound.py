@@ -1,0 +1,55 @@
+"""Extension bench: capping memory-bound kernels is (almost) free.
+
+The paper studies compute-bound GEMM, where capping costs performance.  For
+a bandwidth-bound STREAM triad the clock barely matters: down to the
+bandwidth knee, every watt removed is pure efficiency — a useful corollary
+for capping policies on mixed workloads.
+"""
+
+from repro.experiments.runner import ExperimentResult
+from repro.hardware.catalog import gpu_spec
+from repro.hardware.gpu import GPUDevice
+from repro.kernels.gemm import GemmKernel
+from repro.kernels.stream import StreamKernel
+from repro.sim import Simulator
+
+MODEL = "A100-SXM4-40GB"
+
+
+def _run():
+    spec = gpu_spec(MODEL)
+    gpu = GPUDevice(spec, 0, Simulator())
+    stream = StreamKernel(200_000_000, "double")
+    gemm = GemmKernel.square(5120, "double")
+    result = ExperimentResult(
+        name="extension-membound",
+        title=f"Cap sensitivity: STREAM triad vs GEMM on {MODEL}",
+        headers=[
+            "cap_pct_tdp", "stream_GBs", "stream_GBs_per_W",
+            "gemm_gflops", "gemm_gflops_per_W",
+        ],
+    )
+    for pct in (100, 80, 60, 54, 40, 30):
+        cap = max(spec.cap_min_w, spec.tdp_w * pct / 100)
+        gpu.set_power_limit(cap)
+        result.rows.append(
+            (
+                pct,
+                round(stream.bandwidth_on_gpu(gpu), 1),
+                round(stream.efficiency_on_gpu(gpu), 3),
+                round(gemm.gflops_on_gpu(gpu), 1),
+                round(gemm.efficiency_on_gpu(gpu), 2),
+            )
+        )
+    return result
+
+
+def bench_extension_membound(benchmark, report):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report(result)
+    rows = {r[0]: r for r in result.rows}
+    # STREAM throughput unharmed by the GEMM-best cap; efficiency way up.
+    assert rows[54][1] == rows[100][1]
+    assert rows[54][2] > rows[100][2] * 1.3
+    # GEMM pays for the same cap.
+    assert rows[54][3] < rows[100][3] * 0.85

@@ -1,0 +1,75 @@
+"""Extension bench: mixed-precision GEMM sweep (paper future work).
+
+Sweeps the fraction of single-precision k-updates and reports the
+performance / energy / accuracy trade-off, with and without BBBB capping —
+the "complementary way" the paper's conclusion proposes.
+"""
+
+import numpy as np
+
+from repro.experiments.platforms import cap_states
+from repro.experiments.runner import ExperimentResult
+from repro.hardware.catalog import build_platform
+from repro.linalg import assign_priorities, gemm_mixed_graph
+from repro.linalg.numeric import execute_numeric
+from repro.runtime import RuntimeSystem
+from repro.sim import Simulator
+
+PLATFORM = "32-AMD-4-A100"
+NT = 7
+NB = 5760
+
+
+def _accuracy(fraction: float) -> float:
+    g, a, b, c = gemm_mixed_graph(16 * NT, 16, fraction)
+    rng = np.random.default_rng(0)
+    a0 = a.materialize(rng=rng).copy()
+    b0 = b.materialize(rng=rng).copy()
+    c.materialize(np.zeros((16 * NT, 16 * NT)))
+    execute_numeric(g)
+    ref = a0 @ b0
+    return float(np.linalg.norm(c.array - ref) / np.linalg.norm(ref))
+
+
+def _run_perf(fraction: float, capped: bool):
+    sim = Simulator()
+    node = build_platform(PLATFORM, sim)
+    if capped:
+        states = cap_states(PLATFORM, "gemm", "double", "tiny")
+        node.set_gpu_caps([states.b_w] * 4)
+    rt = RuntimeSystem(node, scheduler="dmdas", seed=1)
+    g, *_ = gemm_mixed_graph(NB * NT, NB, fraction)
+    assign_priorities(g)
+    return rt.run(g)
+
+
+def _run():
+    result = ExperimentResult(
+        name="extension-mixed-precision",
+        title=f"Mixed-precision GEMM sweep on {PLATFORM} (nt={NT})",
+        headers=["single_frac", "caps", "gflops", "energy_J",
+                 "eff_gflops_per_W", "rel_error"],
+    )
+    for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+        err = _accuracy(fraction)
+        for capped in (False, True):
+            res = _run_perf(fraction, capped)
+            result.rows.append(
+                (fraction, "BBBB" if capped else "HHHH",
+                 round(res.gflops, 1), round(res.total_energy_j, 1),
+                 round(res.gflops_per_watt, 2), f"{err:.2e}")
+            )
+    return result
+
+
+def bench_extension_mixed_precision(benchmark, report):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report(result)
+    rows = {(r[0], r[1]): r for r in result.rows}
+    # Efficiency improves monotonically with the single fraction...
+    effs = [rows[(f, "HHHH")][4] for f in (0.0, 0.5, 1.0)]
+    assert effs[0] < effs[1] < effs[2]
+    # ... and capping composes with precision demotion.
+    assert rows[(0.5, "BBBB")][4] > rows[(0.5, "HHHH")][4]
+    # Accuracy degrades but stays at single-precision level.
+    assert float(rows[(1.0, "HHHH")][5]) < 1e-4

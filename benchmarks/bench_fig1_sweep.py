@@ -1,0 +1,13 @@
+"""Bench: Fig. 1 — GEMM cap sweep on A100-SXM4 (efficiency/perf/energy)."""
+
+from repro.experiments import fig1_sweep
+
+
+def bench_fig1_sweep(benchmark, report, bench_scale):
+    result = benchmark.pedantic(
+        lambda: fig1_sweep.run(scale=bench_scale), rounds=1, iterations=1
+    )
+    report(result)
+    # Paper shape: interior optimum, double at ~54 % TDP on the largest size.
+    double_rows = [r for r in result.rows if r[0] == "double"]
+    assert 45 <= double_rows[-1][2] <= 62

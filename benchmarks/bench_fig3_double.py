@@ -1,0 +1,19 @@
+"""Bench: Fig. 3 — GEMM/POTRF under cap configs, double precision, 3 platforms."""
+
+from repro.experiments import fig3_double
+
+
+def bench_fig3_double(benchmark, report, bench_scale):
+    result = benchmark.pedantic(
+        lambda: fig3_double.run(scale=bench_scale), rounds=1, iterations=1
+    )
+    report(result)
+    rows = {(r[0], r[1], r[2]): r for r in result.rows}
+    # Headline: BBBB most efficient for GEMM on the 4-GPU platform ...
+    gemm4 = {c: rows[("32-AMD-4-A100", "gemm", c)] for c in
+             ("LLLL", "HHHH", "HHBB", "BBBB")}
+    assert gemm4["BBBB"][5] > gemm4["HHHH"][5]
+    # ... at a performance cost, with HHBB in between (the trade-off).
+    assert gemm4["BBBB"][3] < gemm4["HHBB"][3] < 0
+    # LLLL: slow AND wasteful.
+    assert gemm4["LLLL"][3] < -60 and gemm4["LLLL"][4] < 0

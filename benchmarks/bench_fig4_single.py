@@ -1,0 +1,14 @@
+"""Bench: Fig. 4 — GEMM/POTRF under cap configs, single precision, 3 platforms."""
+
+from repro.experiments import fig4_single
+
+
+def bench_fig4_single(benchmark, report, bench_scale):
+    result = benchmark.pedantic(
+        lambda: fig4_single.run(scale=bench_scale), rounds=1, iterations=1
+    )
+    report(result)
+    rows = {(r[0], r[1], r[2]): r for r in result.rows}
+    gemm4 = {c: rows[("32-AMD-4-A100", "gemm", c)] for c in ("HHHH", "HHBB", "BBBB")}
+    assert gemm4["BBBB"][5] > gemm4["HHHH"][5] * 1.10  # paper: +33.8 %
+    assert gemm4["HHHH"][5] < gemm4["HHBB"][5] < gemm4["BBBB"][5]

@@ -1,0 +1,22 @@
+"""Bench: Fig. 5 — per-device energy breakdown on 24-Intel-2-V100 (double)."""
+
+from repro.experiments import fig5_breakdown
+
+
+def bench_fig5_breakdown(benchmark, report, bench_scale):
+    result = benchmark.pedantic(
+        lambda: fig5_breakdown.run(scale=bench_scale), rounds=1, iterations=1
+    )
+    report(result)
+    # Fig. 5 effect: the CPUs' share of total energy grows under GPU caps.
+    def cpu_share(op, config):
+        return sum(
+            r[4] for r in result.rows
+            if r[0] == op and r[1] == config and r[2].startswith("cpu")
+        )
+    assert cpu_share("gemm", "LL") > cpu_share("gemm", "HH")
+    # Shares sum to ~100 % per (op, config).
+    for op in ("gemm", "potrf"):
+        for config in ("HH", "LL", "BB"):
+            total = sum(r[4] for r in result.rows if r[0] == op and r[1] == config)
+            assert abs(total - 100.0) < 1.0

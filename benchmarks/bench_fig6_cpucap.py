@@ -1,0 +1,15 @@
+"""Bench: Fig. 6 — efficiency gain from capping one CPU at 48 % TDP."""
+
+from repro.experiments import fig6_cpucap
+
+
+def bench_fig6_cpucap(benchmark, report, bench_scale):
+    result = benchmark.pedantic(
+        lambda: fig6_cpucap.run(scale=bench_scale), rounds=1, iterations=1
+    )
+    report(result)
+    gains = result.column("eff_improvement_pct")
+    impacts = result.column("perf_impact_pct")
+    # Paper: improvement across ALL configurations, no performance loss.
+    assert all(g > 0 for g in gains)
+    assert all(abs(p) < 5 for p in impacts)

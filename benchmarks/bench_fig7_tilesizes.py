@@ -1,0 +1,23 @@
+"""Bench: Fig. 7 — efficiency across tile sizes on all three platforms."""
+
+from repro.experiments import fig7_tilesizes
+
+
+def bench_fig7_tilesizes(benchmark, report, bench_scale):
+    result = benchmark.pedantic(
+        lambda: fig7_tilesizes.run(scale=bench_scale), rounds=1, iterations=1
+    )
+    report(result)
+    # Paper conclusion: all-B beats the default in most cases, across sizes.
+    wins = losses = 0
+    by_case = {}
+    for platform, op, precision, nb, config, eff in result.rows:
+        by_case.setdefault((platform, op, precision, nb), {})[config] = eff
+    for case, configs in by_case.items():
+        all_b = next(v for c, v in configs.items() if set(c) == {"B"})
+        all_h = next(v for c, v in configs.items() if set(c) == {"H"})
+        if all_b > all_h:
+            wins += 1
+        else:
+            losses += 1
+    assert wins > losses, f"all-B won only {wins} of {wins + losses} cases"

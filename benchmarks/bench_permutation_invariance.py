@@ -1,0 +1,44 @@
+"""Bench: permutation invariance of cap configurations.
+
+The paper (Sec. IV-C): "when four GPUs were employed, the configuration HHHB
+was evaluated, as were the combinations HHBH, HBHH and BHHH.  We found that
+the variation in results was negligible."  This bench runs every ordering of
+HHHB and HHBB and checks the spread.
+"""
+
+from repro.core.capconfig import CapConfig, permutation_group
+from repro.core.tradeoff import OperationSpec, run_operation
+from repro.experiments.platforms import cap_states
+from repro.experiments.runner import ExperimentResult
+
+PLATFORM = "32-AMD-4-A100"
+
+
+def _run():
+    spec = OperationSpec(op="gemm", n=5760 * 7, nb=5760, precision="double")
+    states = cap_states(PLATFORM, "gemm", "double", "tiny")
+    result = ExperimentResult(
+        name="permutation-invariance",
+        title="All orderings of HHHB and HHBB (GEMM dp, 32-AMD-4-A100)",
+        headers=["config", "gflops", "energy_J", "eff_gflops_per_W"],
+    )
+    for base in ("HHHB", "HHBB"):
+        for config in permutation_group(CapConfig(base)):
+            m = run_operation(PLATFORM, spec, config, states, seed=1)
+            result.rows.append(
+                (config.letters, round(m.gflops, 1), round(m.energy_j, 1),
+                 round(m.efficiency, 2))
+            )
+    return result
+
+
+def bench_permutation_invariance(benchmark, report):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report(result)
+    for base_letters in ("HHHB", "HHBB"):
+        effs = [
+            r[3] for r in result.rows
+            if sorted(r[0]) == sorted(base_letters)
+        ]
+        spread = (max(effs) - min(effs)) / min(effs)
+        assert spread < 0.04, f"{base_letters}: orderings differ by {spread:.1%}"

@@ -1,0 +1,13 @@
+"""Bench: Table I — best efficiency configuration per GPU and precision."""
+
+from repro.experiments import table1_best
+
+
+def bench_table1_best(benchmark, report, bench_scale):
+    result = benchmark.pedantic(
+        lambda: table1_best.run(scale=bench_scale), rounds=1, iterations=1
+    )
+    report(result)
+    # Every derived best cap within a few % TDP of the paper's Table I.
+    for row in result.rows:
+        assert abs(row[3] - row[5]) <= 6, row

@@ -1,0 +1,14 @@
+"""Bench: Table II — operation sizes and derived P_best per platform."""
+
+from repro.experiments import table2_selection
+
+
+def bench_table2_selection(benchmark, report, bench_scale):
+    result = benchmark.pedantic(
+        lambda: table2_selection.run(scale=bench_scale), rounds=1, iterations=1
+    )
+    report(result)
+    for row in result.rows:
+        p_min, p_best, p_max = row[5], row[6], row[9]
+        assert p_min <= p_best <= p_max
+        assert abs(row[7] - row[8]) <= 10  # derived vs paper best-cap %

@@ -1,0 +1,36 @@
+"""Benchmark plumbing.
+
+Every benchmark regenerates one paper artefact (or an ablation) and prints
+its reproduction table; tables are also written to ``benchmarks/output/``.
+Scale defaults to ``small`` (paper-shaped, CI-sized); set
+``REPRO_BENCH_SCALE=paper`` to replay the paper's full matrix sizes.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+@pytest.fixture
+def report(request, capsys):
+    """Print an ExperimentResult table and persist it to benchmarks/output."""
+
+    def _report(result) -> None:
+        text = result.table() if hasattr(result, "table") else str(result)
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        (OUTPUT_DIR / f"{request.node.name}.txt").write_text(text)
+        with capsys.disabled():
+            print()
+            print(text, end="")
+
+    return _report

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Pick the best cap configuration under a slowdown budget (Cholesky).
+
+A practical decision procedure on top of the paper's Figs. 3/6: run the
+configuration ladder for a tiled Cholesky factorisation on the Intel+V100
+platform — with the paper's CPU cap applied — and select the most
+energy-efficient configuration whose slowdown stays within a user budget.
+
+Run:  python examples/cholesky_tradeoff.py [slowdown_budget_pct]
+"""
+
+import sys
+
+from repro.core.capconfig import standard_configs
+from repro.core.tradeoff import OperationSpec, run_config_set
+from repro.experiments.platforms import cap_states
+
+PLATFORM = "24-Intel-2-V100"
+
+
+def main(budget_pct: float = 10.0) -> None:
+    spec = OperationSpec(op="potrf", n=1920 * 20, nb=1920, precision="double")
+    states = cap_states(PLATFORM, "potrf", "double", "small")
+    configs = standard_configs(2)
+    print(f"POTRF N={spec.n} Nt={spec.nb} double on {PLATFORM} "
+          f"(CPU1 capped at 60 W, per the paper)")
+    print(f"states: H={states.h_w:.0f} W, B={states.b_w:.0f} W, L={states.l_w:.0f} W\n")
+
+    metrics = run_config_set(
+        PLATFORM, spec, configs, states, seed=0, cpu_caps={1: 60.0}
+    )
+    base = metrics["HH"]
+    print("config | perf vs HH | energy saving | Gflop/s/W | within budget?")
+    eligible = []
+    for config in configs:
+        m = metrics[config.letters]
+        slowdown = -m.perf_delta_pct(base)
+        ok = slowdown <= budget_pct
+        if ok:
+            eligible.append(m)
+        print(f"{config.letters:6s} | {m.perf_delta_pct(base):+9.1f}% | "
+              f"{m.energy_saving_pct(base):+12.1f}% | {m.efficiency:8.2f} | "
+              f"{'yes' if ok else 'no'}")
+
+    winner = max(eligible, key=lambda m: m.efficiency)
+    print(f"\nwith a {budget_pct:.0f}% slowdown budget, pick {winner.config}: "
+          f"{winner.efficiency:.2f} Gflop/s/W "
+          f"({winner.efficiency_delta_pct(base):+.1f}% vs default)")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 10.0)

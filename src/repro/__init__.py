@@ -1,0 +1,88 @@
+"""Reproduction of *Improving energy efficiency of HPC applications using
+unbalanced GPU power capping* (IPPS 2025).
+
+The package builds, entirely in Python on a deterministic discrete-event
+simulator, every system the paper depends on — calibrated GPU/CPU power
+models with NVML/RAPL facades, a StarPU-like task runtime with calibrated
+performance models and the dm/dmda/dmdas scheduler family, and Chameleon-like
+tiled GEMM/POTRF — and on top of them the paper's contribution: static
+unbalanced per-GPU power capping with H/B/L configurations.
+
+Quick start::
+
+    from repro import quick_tradeoff
+    for row in quick_tradeoff("32-AMD-4-A100", op="gemm", precision="double"):
+        print(row)
+
+See ``examples/`` and ``python -m repro list`` for the full experiment suite.
+"""
+
+from repro.core import (
+    BestCap,
+    CapConfig,
+    CapStates,
+    ConfigMetrics,
+    OperationSpec,
+    best_cap_for_gemm,
+    run_config_set,
+    run_operation,
+    standard_configs,
+    sweep_gemm,
+)
+from repro.hardware import build_platform, gpu_spec, platform_names
+from repro.runtime import RuntimeSystem
+from repro.sim import Simulator
+
+__version__ = "1.0.0"
+
+
+def quick_tradeoff(
+    platform: str,
+    op: str = "gemm",
+    precision: str = "double",
+    scale: str = "small",
+    seed: int = 0,
+) -> list[tuple[str, float, float, float]]:
+    """One-call version of the paper's core experiment.
+
+    Runs the configuration ladder of Figs. 3/4 for one platform/operation
+    and returns ``(config, perf_delta_pct, energy_saving_pct, efficiency)``
+    rows relative to the all-H default.
+    """
+    from repro.experiments.platforms import cap_states, config_list, operation_spec
+
+    spec = operation_spec(platform, op, precision, scale)
+    states = cap_states(platform, op, precision, scale)
+    configs = config_list(platform)
+    metrics = run_config_set(platform, spec, configs, states, seed=seed)
+    base = metrics["H" * configs[0].n_gpus]
+    return [
+        (
+            c.letters,
+            metrics[c.letters].perf_delta_pct(base),
+            metrics[c.letters].energy_saving_pct(base),
+            metrics[c.letters].efficiency,
+        )
+        for c in configs
+    ]
+
+
+__all__ = [
+    "BestCap",
+    "CapConfig",
+    "CapStates",
+    "ConfigMetrics",
+    "OperationSpec",
+    "best_cap_for_gemm",
+    "run_config_set",
+    "run_operation",
+    "standard_configs",
+    "sweep_gemm",
+    "build_platform",
+    "gpu_spec",
+    "platform_names",
+    "RuntimeSystem",
+    "Simulator",
+    "quick_tradeoff",
+    "__version__",
+]

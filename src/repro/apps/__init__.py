@@ -1,0 +1,13 @@
+"""Application substrates beyond dense linear algebra.
+
+The paper's future work targets "complex/irregular scientific applications";
+:mod:`repro.apps.stencil` provides the first one: an iterative 5-point
+Jacobi heat-diffusion solver over a tiled grid, with halo-exchange
+dependencies between neighbouring tiles and double buffering across
+iterations — a memory-bound workload whose capping behaviour contrasts with
+the paper's compute-bound GEMM.
+"""
+
+from repro.apps.stencil import reference_jacobi, stencil_graph, verify_stencil
+
+__all__ = ["reference_jacobi", "stencil_graph", "verify_stencil"]

@@ -1,0 +1,144 @@
+"""Command-line driver.
+
+Three families of commands::
+
+    repro <experiment> [--scale ...]     # regenerate a paper artefact
+    repro all | list                     # everything / enumerate
+    repro sweep --model ... --n ...      # ad-hoc kernel cap sweep (Sec. II)
+    repro tradeoff --platform ... --config HHBB ...   # ad-hoc app run (Sec. V)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.runner import SCALES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the unbalanced-GPU-power-capping paper's "
+        "tables and figures on the simulated platforms.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in sorted(EXPERIMENTS) + ["all"]:
+        p = sub.add_parser(name, help=f"regenerate {name}" if name != "all" else "run every experiment")
+        p.add_argument("--scale", choices=SCALES, default="small")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--csv", action="store_true")
+
+    sub.add_parser("list", help="list available experiments")
+
+    p = sub.add_parser("sweep", help="cap sweep of a GEMM on one GPU model")
+    p.add_argument("--model", default="A100-SXM4-40GB")
+    p.add_argument("--n", type=int, default=5120)
+    p.add_argument("--precision", choices=["single", "double"], default="double")
+    p.add_argument("--step-pct", type=float, default=2.0)
+    p.add_argument("--csv", action="store_true")
+
+    p = sub.add_parser("tradeoff", help="run one operation under a cap config")
+    p.add_argument("--platform", default="32-AMD-4-A100")
+    p.add_argument("--op", choices=["gemm", "potrf"], default="gemm")
+    p.add_argument("--precision", choices=["single", "double"], default="double")
+    p.add_argument("--config", default=None, help="e.g. HHBB (default: full ladder)")
+    p.add_argument("--scale", choices=SCALES, default="small")
+    p.add_argument("--scheduler", default="dmdas")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--csv", action="store_true")
+    return parser
+
+
+def _emit(result, as_csv: bool) -> None:
+    sys.stdout.write(result.csv() if as_csv else result.table())
+
+
+def _cmd_sweep(args) -> int:
+    from repro.core.sweep import best_point, sweep_gemm
+    from repro.experiments.runner import ExperimentResult
+
+    points = sweep_gemm(args.model, args.n, args.precision, step_pct=args.step_pct)
+    result = ExperimentResult(
+        name="sweep",
+        title=f"GEMM N={args.n} {args.precision} cap sweep on {args.model}",
+        headers=["cap_W", "cap_pct_tdp", "gflops", "power_W", "eff_gflops_per_W"],
+        rows=[
+            (round(p.cap_w, 0), round(p.cap_pct_tdp, 1), round(p.gflops, 1),
+             round(p.power_w, 1), round(p.efficiency, 2))
+            for p in points
+        ],
+    )
+    best = best_point(points)
+    result.notes = [
+        f"best: {best.cap_w:.0f} W ({best.cap_pct_tdp:.0f} % TDP), "
+        f"{best.efficiency:.2f} Gflop/s/W"
+    ]
+    _emit(result, args.csv)
+    return 0
+
+
+def _cmd_tradeoff(args) -> int:
+    from repro.core.capconfig import CapConfig
+    from repro.core.tradeoff import run_config_set
+    from repro.experiments.platforms import cap_states, config_list, operation_spec
+    from repro.experiments.runner import ExperimentResult
+
+    spec = operation_spec(args.platform, args.op, args.precision, args.scale)
+    states = cap_states(args.platform, args.op, args.precision, args.scale)
+    configs = config_list(args.platform)
+    if args.config is not None:
+        wanted = CapConfig(args.config.upper())
+        default = CapConfig("H" * wanted.n_gpus)
+        configs = [default] + ([wanted] if wanted.letters != default.letters else [])
+    metrics = run_config_set(
+        args.platform, spec, configs, states,
+        scheduler=args.scheduler, seed=args.seed,
+    )
+    base = metrics["H" * configs[0].n_gpus]
+    result = ExperimentResult(
+        name="tradeoff",
+        title=f"{spec} on {args.platform} ({args.scheduler})",
+        headers=["config", "gflops", "perf_delta_pct", "energy_J",
+                 "energy_saving_pct", "eff_gflops_per_W"],
+        rows=[
+            (
+                c.letters,
+                round(metrics[c.letters].gflops, 1),
+                round(metrics[c.letters].perf_delta_pct(base), 2),
+                round(metrics[c.letters].energy_j, 1),
+                round(metrics[c.letters].energy_saving_pct(base), 2),
+                round(metrics[c.letters].efficiency, 2),
+            )
+            for c in configs
+        ],
+    )
+    _emit(result, args.csv)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "tradeoff":
+        return _cmd_tradeoff(args)
+    names = sorted(EXPERIMENTS) if args.command == "all" else [args.command]
+    for name in names:
+        t0 = time.time()
+        result = EXPERIMENTS[name](scale=args.scale, seed=args.seed)
+        _emit(result, args.csv)
+        sys.stdout.write(f"  ({time.time() - t0:.1f}s wall)\n\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""Cluster-level power budgeting.
+
+The paper's related work ([26] Kang et al., [27] Zhao et al.) studies GPU
+power capping at *cluster* scale: many devices share one facility power
+budget.  This package provides the allocation layer above the node-level
+study:
+
+- :mod:`repro.cluster.budget` — allocators that split a global watt budget
+  into per-GPU caps: uniform, and a water-filling allocator that equalises
+  marginal throughput per watt using the calibrated power profiles;
+- :mod:`repro.cluster.farm` — a GPU farm abstraction evaluating aggregate
+  throughput/efficiency of an allocation over heterogeneous devices.
+"""
+
+from repro.cluster.budget import (
+    allocate_uniform,
+    allocate_waterfill,
+    best_efficiency_allocation,
+)
+from repro.cluster.farm import FarmGPU, GPUFarm
+
+__all__ = [
+    "allocate_uniform",
+    "allocate_waterfill",
+    "best_efficiency_allocation",
+    "FarmGPU",
+    "GPUFarm",
+]

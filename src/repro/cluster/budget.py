@@ -1,0 +1,90 @@
+"""Global power-budget allocators.
+
+``allocate_uniform`` splits the budget equally (clamped to each device's cap
+range); ``allocate_waterfill`` greedily gives each next watt-quantum to the
+GPU with the highest *marginal throughput*, which equalises marginal
+Gflop/s-per-watt across devices — the classic water-filling optimum for
+concave throughput curves, and exactly what a heterogeneous farm needs
+(A100s deserve more of the budget than V100s).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.farm import GPUFarm
+
+
+def allocate_uniform(farm: GPUFarm, budget_w: float) -> list[float]:
+    """Equal split, clamped per device; surplus recycled to unclamped GPUs."""
+    _check_budget(farm, budget_w)
+    caps = [g.cap_range[0] for g in farm.gpus]
+    remaining = budget_w - sum(caps)
+    open_idx = list(range(len(farm.gpus)))
+    while remaining > 1e-6 and open_idx:
+        share = remaining / len(open_idx)
+        closed = []
+        for i in open_idx:
+            hi = farm.gpus[i].cap_range[1]
+            take = min(share, hi - caps[i])
+            caps[i] += take
+            remaining -= take
+            if hi - caps[i] < 1e-9:
+                closed.append(i)
+        if not closed and share < 1e-9:
+            break
+        open_idx = [i for i in open_idx if i not in closed]
+    return caps
+
+
+def allocate_waterfill(
+    farm: GPUFarm, budget_w: float, step_w: float = 5.0
+) -> list[float]:
+    """Greedy marginal-throughput water-filling in ``step_w`` quanta."""
+    _check_budget(farm, budget_w)
+    if step_w <= 0:
+        raise ValueError("step must be positive")
+    caps = [g.cap_range[0] for g in farm.gpus]
+    base = [g.throughput(c) for g, c in zip(farm.gpus, caps)]
+    remaining = budget_w - sum(caps)
+    while remaining > 1e-6:
+        best_i, best_gain, best_take = -1, 0.0, 0.0
+        for i, gpu in enumerate(farm.gpus):
+            hi = gpu.cap_range[1]
+            take = min(step_w, hi - caps[i], remaining)
+            if take <= 1e-9:
+                continue
+            gain = (gpu.throughput(caps[i] + take) - base[i]) / take
+            if gain > best_gain:
+                best_i, best_gain, best_take = i, gain, take
+        if best_i < 0 or best_gain <= 1e-12:
+            break  # nobody can use more power (all saturated)
+        caps[best_i] += best_take
+        base[best_i] = farm.gpus[best_i].throughput(caps[best_i])
+        remaining -= best_take
+    return caps
+
+
+def best_efficiency_allocation(farm: GPUFarm) -> list[float]:
+    """Ignore the budget: run every GPU at its own best-efficiency cap.
+
+    The cluster-level restatement of the paper's BBBB configuration.
+    """
+    caps = []
+    for gpu in farm.gpus:
+        lo, hi = gpu.cap_range
+        best_c, best_e = hi, -1.0
+        steps = max(1, int((hi - lo) / 4.0))
+        for k in range(steps + 1):
+            c = lo + (hi - lo) * k / steps
+            e = gpu.efficiency(c)
+            if e > best_e:
+                best_c, best_e = c, e
+        caps.append(best_c)
+    return caps
+
+
+def _check_budget(farm: GPUFarm, budget_w: float) -> None:
+    if budget_w < farm.min_budget() - 1e-9:
+        raise ValueError(
+            f"budget {budget_w:.0f} W below the farm's minimum "
+            f"{farm.min_budget():.0f} W (caps cannot go lower)"
+        )

@@ -1,0 +1,85 @@
+"""A farm of (possibly heterogeneous) GPUs running a steady kernel stream.
+
+Each farm GPU continuously executes one kernel type (a training step, a
+GEMM-heavy solver iteration, ...).  Throughput and power at a given cap come
+from the calibrated kernel/power models, so allocation quality can be
+evaluated analytically — the same abstraction cluster-level power managers
+([26], [27] in the paper) operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.catalog import gpu_spec
+from repro.hardware.gpu import GPUDevice
+from repro.kernels.gemm import GemmKernel
+from repro.sim import Simulator
+
+
+@dataclass
+class FarmGPU:
+    """One device of the farm plus its steady workload."""
+
+    model: str
+    kernel: GemmKernel
+    device: GPUDevice = field(init=False)
+
+    def __post_init__(self) -> None:
+        spec = gpu_spec(self.model)
+        self.device = GPUDevice(spec, 0, Simulator())
+
+    @property
+    def cap_range(self) -> tuple[float, float]:
+        spec = self.device.spec
+        return spec.cap_min_w, spec.cap_max_w
+
+    def throughput(self, cap_w: float) -> float:
+        """Gflop/s sustained at a cap."""
+        self.device.set_power_limit(cap_w)
+        return self.kernel.gflops_on_gpu(self.device)
+
+    def power(self, cap_w: float) -> float:
+        """Average draw at a cap (below the cap for generous budgets)."""
+        self.device.set_power_limit(cap_w)
+        return self.kernel.power_on_gpu(self.device)
+
+    def efficiency(self, cap_w: float) -> float:
+        return self.throughput(cap_w) / self.power(cap_w)
+
+
+class GPUFarm:
+    """Aggregate metrics of an allocation over a set of farm GPUs."""
+
+    def __init__(self, gpus: list[FarmGPU]) -> None:
+        if not gpus:
+            raise ValueError("farm needs at least one GPU")
+        self.gpus = gpus
+
+    def __len__(self) -> int:
+        return len(self.gpus)
+
+    def min_budget(self) -> float:
+        return sum(g.cap_range[0] for g in self.gpus)
+
+    def max_budget(self) -> float:
+        return sum(g.cap_range[1] for g in self.gpus)
+
+    def validate_allocation(self, caps: list[float], budget_w: float) -> None:
+        if len(caps) != len(self.gpus):
+            raise ValueError("one cap per GPU required")
+        for cap, gpu in zip(caps, self.gpus):
+            lo, hi = gpu.cap_range
+            if not lo - 1e-9 <= cap <= hi + 1e-9:
+                raise ValueError(f"cap {cap} W outside [{lo}, {hi}] for {gpu.model}")
+        if sum(caps) > budget_w + 1e-6:
+            raise ValueError(f"allocation {sum(caps):.0f} W exceeds budget {budget_w:.0f} W")
+
+    def total_throughput(self, caps: list[float]) -> float:
+        return sum(g.throughput(c) for g, c in zip(self.gpus, caps))
+
+    def total_power(self, caps: list[float]) -> float:
+        return sum(g.power(c) for g, c in zip(self.gpus, caps))
+
+    def total_efficiency(self, caps: list[float]) -> float:
+        return self.total_throughput(caps) / self.total_power(caps)

@@ -1,0 +1,37 @@
+"""The paper's contribution: unbalanced GPU power capping studies.
+
+- :mod:`repro.core.capconfig` — H/B/L cap-state strings (``HHBB``) and their
+  translation to per-GPU watt caps;
+- :mod:`repro.core.sweep` — the kernel-level cap sweep of Sec. II (Fig. 1);
+- :mod:`repro.core.bestcap` — ``P_best`` selection (Tables I and II);
+- :mod:`repro.core.tradeoff` — task-based operations under cap configs, with
+  the full performance/energy/efficiency report (Figs. 3, 4);
+- :mod:`repro.core.cpu_capping` — the CPU-capping study (Fig. 6);
+- :mod:`repro.core.dynamic` — EXTENSION: a DEPO-style dynamic cap governor;
+- :mod:`repro.core.efficiency` / :mod:`repro.core.reporting` — metrics and
+  text-table emitters.
+"""
+
+from repro.core.bestcap import BestCap, best_cap_for_gemm
+from repro.core.capconfig import CapConfig, CapStates, standard_configs
+from repro.core.dynamic import DynamicCapGovernor, GovernorStep
+from repro.core.efficiency import ConfigMetrics, pct_change
+from repro.core.sweep import SweepPoint, sweep_gemm
+from repro.core.tradeoff import OperationSpec, run_config_set, run_operation
+
+__all__ = [
+    "BestCap",
+    "best_cap_for_gemm",
+    "CapConfig",
+    "CapStates",
+    "standard_configs",
+    "DynamicCapGovernor",
+    "GovernorStep",
+    "ConfigMetrics",
+    "pct_change",
+    "SweepPoint",
+    "sweep_gemm",
+    "OperationSpec",
+    "run_config_set",
+    "run_operation",
+]

@@ -1,0 +1,74 @@
+"""``P_best`` selection (paper Tables I and II).
+
+The best cap is "the highest point from the energy efficiency data set" of a
+GEMM sweep (Sec. IV-C).  Table I picks it over several matrix sizes per GPU
+model; Table II applies the same procedure at the tile size used by each
+task-based operation, since GEMM tiles dominate both operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.hardware.catalog import gpu_spec
+from repro.core.sweep import SweepPoint, best_point, sweep_gemm
+
+
+@dataclass(frozen=True)
+class BestCap:
+    """Best-efficiency cap for one (GPU, precision) pair."""
+
+    model: str
+    precision: str
+    matrix_size: int
+    cap_w: float
+    cap_pct_tdp: float
+    efficiency: float
+    efficiency_saving_pct: float
+    perf_ratio: float
+
+
+def best_cap_for_gemm(
+    model: str,
+    precision: str,
+    sizes: Sequence[int],
+    step_pct: float = 2.0,
+) -> BestCap:
+    """Scan matrix sizes, sweep caps for each, keep the global best.
+
+    Reproduces the Table I procedure: the best efficiency usually lands on
+    the largest size (better occupancy), with the cap strictly below TDP.
+    """
+    if not sizes:
+        raise ValueError("need at least one matrix size")
+    best: tuple[SweepPoint, SweepPoint, int] | None = None  # (point, default, n)
+    for n in sizes:
+        points = sweep_gemm(model, n, precision, step_pct=step_pct)
+        cand = best_point(points)
+        default = points[-1]  # the no-cap (TDP) point
+        if best is None or cand.efficiency > best[0].efficiency:
+            best = (cand, default, n)
+    point, default, n = best
+    return BestCap(
+        model=model,
+        precision=precision,
+        matrix_size=n,
+        cap_w=point.cap_w,
+        cap_pct_tdp=point.cap_pct_tdp,
+        efficiency=point.efficiency,
+        efficiency_saving_pct=100.0 * (point.efficiency / default.efficiency - 1.0),
+        perf_ratio=point.gflops / default.gflops,
+    )
+
+
+def best_cap_watts(model: str, precision: str, nb: int, step_pct: float = 2.0) -> float:
+    """Table II ``P_best``: best cap for a single tile-sized GEMM."""
+    points = sweep_gemm(model, nb, precision, step_pct=step_pct)
+    return best_point(points).cap_w
+
+
+def state_watts(model: str) -> tuple[float, float]:
+    """(P_min, P_max) of a GPU model — the L and H states."""
+    spec = gpu_spec(model)
+    return spec.cap_min_w, spec.cap_max_w

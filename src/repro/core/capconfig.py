@@ -1,0 +1,93 @@
+"""Cap-state strings: the paper's H/B/L configuration language.
+
+A configuration like ``HHBB`` assigns each GPU one of three states:
+
+- ``H`` — highest power (the hardware maximum / TDP, i.e. no capping);
+- ``B`` — the best-efficiency cap found by the kernel study (``P_best``);
+- ``L`` — the lowest enforceable cap (``P_min``).
+
+The paper evaluated all permutations (``HHHB``, ``HHBH``, ...) and found the
+variation negligible, so the presentation keeps one representative per
+multiset; :func:`standard_configs` returns exactly the configurations shown
+in Figs. 3/4, and :func:`enumerate_configs` provides the full set for the
+permutation-invariance check.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+VALID_STATES = "HBL"
+
+
+@dataclass(frozen=True)
+class CapStates:
+    """Watt values of the three states for one (platform, op, precision)."""
+
+    h_w: float
+    b_w: float
+    l_w: float
+
+    def watts(self, letter: str) -> float:
+        try:
+            return {"H": self.h_w, "B": self.b_w, "L": self.l_w}[letter]
+        except KeyError:
+            raise ValueError(f"unknown cap state {letter!r}") from None
+
+
+@dataclass(frozen=True)
+class CapConfig:
+    """One per-GPU cap assignment, e.g. ``HHBB``."""
+
+    letters: str
+
+    def __post_init__(self) -> None:
+        if not self.letters:
+            raise ValueError("empty cap configuration")
+        bad = set(self.letters) - set(VALID_STATES)
+        if bad:
+            raise ValueError(f"invalid cap states {sorted(bad)}; allowed: H, B, L")
+
+    @property
+    def n_gpus(self) -> int:
+        return len(self.letters)
+
+    def watts(self, states: CapStates) -> list[float]:
+        """Per-GPU caps in watts."""
+        return [states.watts(c) for c in self.letters]
+
+    def is_default(self) -> bool:
+        return set(self.letters) == {"H"}
+
+    def canonical(self) -> "CapConfig":
+        """Representative with H first, then B, then L (paper's convention)."""
+        order = {c: i for i, c in enumerate(VALID_STATES)}
+        return CapConfig("".join(sorted(self.letters, key=order.__getitem__)))
+
+    def __str__(self) -> str:  # pragma: no cover
+        return self.letters
+
+
+def standard_configs(n_gpus: int) -> list[CapConfig]:
+    """The configurations shown in the paper's Figs. 3/4.
+
+    Ordered: all-low through all-high (L-ladder), then the B-ladder down to
+    all-best.  The default ``H...H`` sits between the two ladders.
+    """
+    if n_gpus < 1:
+        raise ValueError("need at least one GPU")
+    ladder_l = ["H" * k + "L" * (n_gpus - k) for k in range(n_gpus)]
+    ladder_b = ["H" * k + "B" * (n_gpus - k) for k in range(n_gpus, -1, -1)]
+    return [CapConfig(c) for c in ladder_l + ladder_b]
+
+
+def enumerate_configs(n_gpus: int, states: str = VALID_STATES) -> list[CapConfig]:
+    """Every assignment (all permutations) — the paper's full search space."""
+    return [CapConfig("".join(p)) for p in itertools.product(states, repeat=n_gpus)]
+
+
+def permutation_group(config: CapConfig) -> list[CapConfig]:
+    """All distinct orderings of one multiset, e.g. HHBB -> 6 configs."""
+    seen = sorted({"".join(p) for p in itertools.permutations(config.letters)})
+    return [CapConfig(s) for s in seen]

@@ -1,0 +1,106 @@
+"""EXTENSION: dynamic power-cap governor (paper future work; cf. DEPO
+[Krzywaniak et al.] in the paper's related work).
+
+The governor tunes a GPU's cap online while a repetitive kernel runs: it
+walks the cap in fixed steps in one direction as long as measured energy
+efficiency keeps improving, reverses direction once when it stops improving,
+and locks in when no direction helps (hill climbing with hysteresis).  On
+the simulated devices it converges to the same ``P_best`` the offline sweep
+of Sec. II finds, without needing the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import nvml
+from repro.hardware.gpu import GPUDevice
+from repro.kernels.gemm import GemmKernel
+from repro.sim import Simulator
+
+
+@dataclass(frozen=True)
+class GovernorStep:
+    """One measurement epoch of the governor."""
+
+    cap_w: float
+    efficiency: float
+    action: str  # "down", "up", "hold"
+
+
+@dataclass
+class DynamicCapGovernor:
+    """Online hill-climbing cap tuner for one GPU.
+
+    Parameters
+    ----------
+    step_w:
+        Cap adjustment per epoch (W).
+    improvement_threshold:
+        Relative efficiency gain required to keep moving (hysteresis).
+    max_epochs:
+        Safety bound on tuning epochs.
+    """
+
+    gpu: GPUDevice
+    sim: Simulator
+    step_w: float = 10.0
+    improvement_threshold: float = 0.002
+    max_epochs: int = 200
+    history: list[GovernorStep] = field(default_factory=list)
+
+    def _measure_epoch(self, kernel: GemmKernel) -> float:
+        """Run one kernel instance; return measured Gflop/s/W via NVML."""
+        handle = nvml.nvmlDeviceGetHandleByIndex(self.gpu.index)
+        e0 = nvml.nvmlDeviceGetTotalEnergyConsumption(handle)
+        t0 = self.sim.now
+        self.gpu.begin_kernel(kernel.precision, kernel.activity(self.gpu.spec), "gov")
+        self.sim.schedule(kernel.time_on_gpu(self.gpu), self.gpu.end_kernel)
+        self.sim.run()
+        elapsed = self.sim.now - t0
+        joules = (nvml.nvmlDeviceGetTotalEnergyConsumption(handle) - e0) / 1000.0
+        return (kernel.flops / elapsed / 1e9) / (joules / elapsed)
+
+    def tune(self, kernel: GemmKernel) -> float:
+        """Converge to the best cap for ``kernel``; returns the final cap.
+
+        The walk *continues through flat regions* (caps above the kernel's
+        actual draw change nothing) and only reverses/stops when efficiency
+        drops by more than the threshold below the best seen — otherwise a
+        cap far above the operating point would look like a dead end.
+        """
+        spec = self.gpu.spec
+        cap = self.gpu.power_limit_w
+        direction = -1.0  # start by lowering power (the common win)
+        reversals = 0
+        best_eff = self._measure_epoch(kernel)
+        best_cap = cap
+        self.history.append(GovernorStep(cap, best_eff, "hold"))
+        for _ in range(self.max_epochs):
+            candidate = min(spec.cap_max_w, max(spec.cap_min_w, cap + direction * self.step_w))
+            if candidate == cap:  # hit a hardware bound
+                if reversals >= 1:
+                    break
+                direction, reversals = -direction, reversals + 1
+                continue
+            self.gpu.set_power_limit(candidate)
+            eff = self._measure_epoch(kernel)
+            if eff >= best_eff * (1.0 - self.improvement_threshold):
+                # Improved or flat: keep walking.
+                cap = candidate
+                if eff > best_eff:
+                    best_eff, best_cap = eff, cap
+                self.history.append(
+                    GovernorStep(cap, eff, "down" if direction < 0 else "up")
+                )
+            else:
+                # Significant degradation: back to the best point, then try
+                # the other direction once before locking in.
+                cap = best_cap
+                self.gpu.set_power_limit(cap)
+                self.history.append(GovernorStep(candidate, eff, "hold"))
+                if reversals >= 1:
+                    break
+                direction, reversals = -direction, reversals + 1
+        self.gpu.set_power_limit(best_cap)
+        return best_cap

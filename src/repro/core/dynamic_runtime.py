@@ -1,0 +1,103 @@
+"""EXTENSION: dynamic per-GPU capping *during* a task-based run.
+
+The paper's future work asks about "dynamic power capping and its
+interaction with scheduling decisions".  :class:`RuntimeCapGovernor` ticks
+on the simulation clock while the runtime executes a graph: every period it
+measures each GPU's achieved efficiency over the window (flops retired by
+its worker / energy drawn by the device) and hill-climbs that GPU's cap
+independently.  The scheduler keeps up because the runtime's EWMA history
+model re-estimates kernel durations from recent samples — use
+``RuntimeSystem(..., ewma_alpha=0.3)`` together with this governor.
+
+Start the governor *before* ``runtime.run``; it re-arms itself on the event
+heap until the run drains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.node import Node
+from repro.runtime.engine import RuntimeSystem
+from repro.runtime.worker import GPUWorker
+from repro.sim import Simulator
+
+
+@dataclass
+class _GPUState:
+    direction: float = -1.0
+    smooth_eff: float | None = None
+    best_eff: float = 0.0
+    best_cap: float = 0.0
+    last_flops: float = 0.0
+    last_energy: float = 0.0
+
+
+@dataclass
+class RuntimeCapGovernor:
+    """Per-GPU online hill-climbing governor over a running RuntimeSystem."""
+
+    node: Node
+    runtime: RuntimeSystem
+    period_s: float = 0.4
+    step_w: float = 20.0
+    degrade_tolerance: float = 0.03
+    smoothing: float = 0.5
+    history: list[tuple[float, list[float]]] = field(default_factory=list)
+    _states: dict[int, _GPUState] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._sim: Simulator = self.runtime.sim
+        self._gpu_workers = {
+            w.gpu.index: w for w in self.runtime.workers if isinstance(w, GPUWorker)
+        }
+        for gpu in self.node.gpus:
+            self._states[gpu.index] = _GPUState()
+
+    def start(self) -> None:
+        """Arm the first tick; call immediately before ``runtime.run``."""
+        for gpu in self.node.gpus:
+            state = self._states[gpu.index]
+            state.last_flops = self._gpu_workers[gpu.index].flops_done
+            state.last_energy = gpu.energy_j()
+            state.smooth_eff = None
+            state.best_cap = gpu.power_limit_w
+        self._sim.schedule(self.period_s, self._tick)
+
+    def _tick(self) -> None:
+        caps = []
+        for gpu in self.node.gpus:
+            state = self._states[gpu.index]
+            flops = self._gpu_workers[gpu.index].flops_done
+            energy = gpu.energy_j()
+            d_flops = flops - state.last_flops
+            d_energy = energy - state.last_energy
+            state.last_flops, state.last_energy = flops, energy
+            if d_flops > 0 and d_energy > 0:
+                raw = d_flops / d_energy
+                eff = (
+                    raw if state.smooth_eff is None
+                    else (1 - self.smoothing) * state.smooth_eff + self.smoothing * raw
+                )
+                state.smooth_eff = eff
+                if eff > state.best_eff:
+                    state.best_eff = eff
+                    state.best_cap = gpu.power_limit_w
+                spec = gpu.spec
+                if eff < state.best_eff * (1.0 - self.degrade_tolerance):
+                    # Fell clearly below the best seen: jump back there and
+                    # probe the other direction next.
+                    state.direction = -state.direction
+                    cap = state.best_cap
+                else:
+                    cap = gpu.power_limit_w + state.direction * self.step_w
+                cap = min(spec.cap_max_w, max(spec.cap_min_w, cap))
+                if cap != gpu.power_limit_w:
+                    gpu.set_power_limit(cap)
+            caps.append(gpu.power_limit_w)
+        self.history.append((self._sim.now, caps))
+        if self.runtime.pending_tasks > 0:
+            self._sim.schedule(self.period_s, self._tick)
+
+    def final_caps(self) -> list[float]:
+        return [gpu.power_limit_w for gpu in self.node.gpus]

@@ -1,0 +1,59 @@
+"""Metrics: performance, energy, efficiency, and paper-style deltas.
+
+Sign conventions follow the paper (Sec. V): for performance a positive
+percentage is a speedup; for energy a positive percentage is a *saving*.
+Efficiency is Gflop/s/W, which equals Gflop per Joule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def pct_change(new: float, base: float) -> float:
+    """Percentage change of ``new`` relative to ``base``."""
+    if base == 0:
+        raise ZeroDivisionError("baseline is zero")
+    return (new / base - 1.0) * 100.0
+
+
+@dataclass(frozen=True)
+class ConfigMetrics:
+    """Metrics of one operation run under one cap configuration."""
+
+    config: str
+    makespan_s: float
+    total_flops: float
+    energy_j: float
+    device_energy_j: dict[str, float]
+    gpu_task_fraction: float = 1.0
+
+    @property
+    def gflops(self) -> float:
+        return self.total_flops / self.makespan_s / 1e9
+
+    @property
+    def efficiency(self) -> float:
+        """Gflop/s/W (== Gflop/J)."""
+        return self.total_flops / self.energy_j / 1e9
+
+    # ------------------------------------------------- paper-style deltas
+
+    def perf_delta_pct(self, base: "ConfigMetrics") -> float:
+        """Positive = speedup over the baseline config."""
+        return pct_change(self.gflops, base.gflops)
+
+    def energy_saving_pct(self, base: "ConfigMetrics") -> float:
+        """Positive = less energy than the baseline config."""
+        return -pct_change(self.energy_j, base.energy_j)
+
+    def efficiency_delta_pct(self, base: "ConfigMetrics") -> float:
+        return pct_change(self.efficiency, base.efficiency)
+
+    @property
+    def cpu_energy_j(self) -> float:
+        return sum(v for k, v in self.device_energy_j.items() if k.startswith("cpu"))
+
+    @property
+    def gpu_energy_j(self) -> float:
+        return sum(v for k, v in self.device_energy_j.items() if k.startswith("gpu"))

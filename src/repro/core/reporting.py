@@ -1,0 +1,50 @@
+"""Text tables and CSV emitters for experiment output.
+
+Every benchmark prints its reproduction table through these helpers so the
+rows the paper reports can be eyeballed directly in the bench output.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "") -> str:
+    """Fixed-width text table."""
+    srows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    sep = "-+-".join("-" * w for w in widths)
+    out.write(" | ".join(h.ljust(w) for h, w in zip(headers, widths)) + "\n")
+    out.write(sep + "\n")
+    for row in srows:
+        out.write(" | ".join(c.ljust(w) for c, w in zip(row, widths)) + "\n")
+    return out.getvalue()
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_pct(value: float, signed: bool = True) -> str:
+    """Paper-style percentage ('+24.30 %' / '-26.41 %')."""
+    sign = "+" if signed and value >= 0 else ""
+    return f"{sign}{value:.2f} %"
+
+
+def to_csv(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    out = io.StringIO()
+    out.write(",".join(headers) + "\n")
+    for row in rows:
+        out.write(",".join(str(c) for c in row) + "\n")
+    return out.getvalue()

@@ -1,0 +1,102 @@
+"""Kernel-level power-cap sweep (paper Sec. II, Fig. 1).
+
+Runs a single cuBLAS-style GEMM on one simulated GPU at every cap from the
+hardware minimum to TDP, measuring each point through the NVML facade — the
+same protocol the paper uses on real silicon.  The sweep varies the cap in
+2 % steps of TDP by default, matching the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import nvml
+from repro.hardware.catalog import gpu_spec
+from repro.hardware.gpu import GPUDevice
+from repro.hardware.specs import GPUSpec
+from repro.kernels.gemm import GemmKernel
+from repro.sim import Simulator
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cap setting of the sweep."""
+
+    cap_w: float
+    cap_pct_tdp: float
+    time_s: float
+    gflops: float
+    power_w: float
+    energy_j: float
+
+    @property
+    def efficiency(self) -> float:
+        """Gflop/s/W."""
+        return self.gflops / self.power_w
+
+
+def _measure_point(gpu: GPUDevice, sim: Simulator, kernel: GemmKernel) -> SweepPoint:
+    """Execute the kernel once on the device and read energy via NVML."""
+    handle = nvml.nvmlDeviceGetHandleByIndex(gpu.index)
+    e0_mj = nvml.nvmlDeviceGetTotalEnergyConsumption(handle)
+    t0 = sim.now
+    gpu.begin_kernel(kernel.precision, kernel.activity(gpu.spec), "sweep-gemm")
+    duration = kernel.time_on_gpu(gpu)
+    sim.schedule(duration, gpu.end_kernel)
+    sim.run()
+    elapsed = sim.now - t0
+    energy_j = (nvml.nvmlDeviceGetTotalEnergyConsumption(handle) - e0_mj) / 1000.0
+    return SweepPoint(
+        cap_w=gpu.power_limit_w,
+        cap_pct_tdp=100.0 * gpu.power_limit_w / gpu.spec.tdp_w,
+        time_s=elapsed,
+        gflops=kernel.flops / elapsed / 1e9,
+        power_w=energy_j / elapsed,
+        energy_j=energy_j,
+    )
+
+
+def sweep_gemm(
+    model: str | GPUSpec,
+    n: int,
+    precision: str,
+    step_pct: float = 2.0,
+    m: Optional[int] = None,
+    k: Optional[int] = None,
+) -> list[SweepPoint]:
+    """Sweep the power cap for an ``n x n x n`` GEMM on one GPU model.
+
+    Caps run from the hardware minimum to the maximum in ``step_pct`` of TDP
+    (requests below the minimum constraint are clamped, as NVML enforces).
+    """
+    spec = gpu_spec(model) if isinstance(model, str) else model
+    sim = Simulator()
+    gpu = GPUDevice(spec, 0, sim)
+    kernel = GemmKernel(m or n, n, k or n, precision)
+
+    class _OneGPUNode:
+        gpus = [gpu]
+
+    nvml.nvmlInit(_OneGPUNode())
+    points: list[SweepPoint] = []
+    try:
+        pct = 100.0 * spec.cap_min_w / spec.tdp_w
+        caps: list[float] = []
+        while pct < 100.0 * spec.cap_max_w / spec.tdp_w - 1e-9:
+            caps.append(max(spec.cap_min_w, spec.tdp_w * pct / 100.0))
+            pct += step_pct
+        caps.append(spec.cap_max_w)
+        for cap in caps:
+            gpu.set_power_limit(cap)
+            points.append(_measure_point(gpu, sim, kernel))
+    finally:
+        nvml.nvmlShutdown()
+    return points
+
+
+def best_point(points: list[SweepPoint]) -> SweepPoint:
+    """The sweep point with maximal energy efficiency."""
+    if not points:
+        raise ValueError("empty sweep")
+    return max(points, key=lambda p: p.efficiency)

@@ -1,0 +1,164 @@
+"""Task-based operations under cap configurations (paper Figs. 3 and 4).
+
+:func:`run_operation` is the experiment workhorse: build one of the paper's
+platforms, apply a cap configuration (and optionally CPU caps), execute the
+tiled operation through the StarPU-like runtime with the ``dmdas`` scheduler,
+and measure application-level energy through the NVML/PAPI facades exactly
+as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from repro.core.capconfig import CapConfig, CapStates
+from repro.core.efficiency import ConfigMetrics
+from repro.energy.meters import EnergyMeter
+from repro.hardware.catalog import build_platform
+from repro.linalg import assign_priorities, gemm_graph, potrf_graph
+from repro.runtime import RuntimeSystem
+from repro.sim import Simulator, Tracer
+
+OPERATIONS = ("gemm", "potrf")
+
+
+@dataclass(frozen=True)
+class OperationSpec:
+    """One task-based operation instance (a row of the paper's Table II)."""
+
+    op: str
+    n: int
+    nb: int
+    precision: str
+
+    def __post_init__(self) -> None:
+        if self.op not in OPERATIONS:
+            raise ValueError(f"unknown operation {self.op!r}; have {OPERATIONS}")
+        if self.n % self.nb != 0:
+            raise ValueError("N must be a multiple of the tile size Nt")
+
+    @property
+    def nt(self) -> int:
+        return self.n // self.nb
+
+    def build_graph(self):
+        if self.op == "gemm":
+            graph, *_ = gemm_graph(self.n, self.nb, self.precision)
+        else:
+            graph, _ = potrf_graph(self.n, self.nb, self.precision)
+        assign_priorities(graph)
+        return graph
+
+    def __str__(self) -> str:  # pragma: no cover
+        return f"{self.op}-{self.precision} N={self.n} Nt={self.nb}"
+
+
+def run_operation(
+    platform: str,
+    spec: OperationSpec,
+    config: CapConfig,
+    states: CapStates,
+    scheduler: str = "dmdas",
+    seed: int = 0,
+    cpu_caps: Optional[Mapping[int, float]] = None,
+    tracer: Optional[Tracer] = None,
+) -> ConfigMetrics:
+    """Execute one operation under one cap configuration; return metrics."""
+    sim = Simulator()
+    node = build_platform(platform, sim, tracer)
+    if config.n_gpus != node.n_gpus:
+        raise ValueError(
+            f"config {config.letters} has {config.n_gpus} states for "
+            f"{node.n_gpus} GPUs on {platform}"
+        )
+    node.set_gpu_caps(config.watts(states))
+    if cpu_caps:
+        for pkg, watts in cpu_caps.items():
+            node.cpus[pkg].set_power_limit(watts)
+    runtime = RuntimeSystem(node, scheduler=scheduler, seed=seed, tracer=tracer)
+    graph = spec.build_graph()
+    meter = EnergyMeter(node)
+    meter.start()
+    result = runtime.run(graph, reset_energy=False)
+    measurement = meter.stop()
+    return ConfigMetrics(
+        config=config.letters,
+        makespan_s=measurement.duration_s,
+        total_flops=result.total_flops,
+        energy_j=measurement.total_j,
+        device_energy_j={**measurement.cpu_j, **measurement.gpu_j},
+        gpu_task_fraction=result.gpu_task_fraction(),
+    )
+
+
+def run_config_set(
+    platform: str,
+    spec: OperationSpec,
+    configs: Sequence[CapConfig],
+    states: CapStates,
+    scheduler: str = "dmdas",
+    seed: int = 0,
+    cpu_caps: Optional[Mapping[int, float]] = None,
+) -> dict[str, ConfigMetrics]:
+    """Run a set of configurations; keys are the config letter strings."""
+    return {
+        config.letters: run_operation(
+            platform, spec, config, states,
+            scheduler=scheduler, seed=seed, cpu_caps=cpu_caps,
+        )
+        for config in configs
+    }
+
+
+@dataclass(frozen=True)
+class RepeatedMetrics:
+    """Mean and spread over several seeded repetitions of one configuration.
+
+    The paper averages repeated runs per configuration; this is the same
+    methodology (each repetition re-seeds execution and calibration noise).
+    """
+
+    config: str
+    runs: tuple[ConfigMetrics, ...]
+
+    @property
+    def mean_gflops(self) -> float:
+        return sum(r.gflops for r in self.runs) / len(self.runs)
+
+    @property
+    def mean_energy_j(self) -> float:
+        return sum(r.energy_j for r in self.runs) / len(self.runs)
+
+    @property
+    def mean_efficiency(self) -> float:
+        return sum(r.efficiency for r in self.runs) / len(self.runs)
+
+    @property
+    def efficiency_spread(self) -> float:
+        """(max - min) / mean of efficiency across repetitions."""
+        effs = [r.efficiency for r in self.runs]
+        return (max(effs) - min(effs)) / self.mean_efficiency
+
+
+def run_repeated(
+    platform: str,
+    spec: OperationSpec,
+    config: CapConfig,
+    states: CapStates,
+    repeats: int = 3,
+    scheduler: str = "dmdas",
+    base_seed: int = 0,
+    cpu_caps: Optional[Mapping[int, float]] = None,
+) -> RepeatedMetrics:
+    """Run one configuration ``repeats`` times with distinct seeds."""
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    runs = tuple(
+        run_operation(
+            platform, spec, config, states,
+            scheduler=scheduler, seed=base_seed + i, cpu_caps=cpu_caps,
+        )
+        for i in range(repeats)
+    )
+    return RepeatedMetrics(config=config.letters, runs=runs)

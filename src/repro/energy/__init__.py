@@ -1,0 +1,18 @@
+"""Energy measurement harness.
+
+Reproduces the paper's protocol (Sec. IV-C): read the NVML total-energy
+counter of every GPU and the RAPL package counter of every CPU at the start
+and the end of the run, subtract, and sum into one application-level figure.
+Measurement is at application granularity, not per task — exactly like the
+paper.
+"""
+
+from repro.energy.accounting import EnergyBreakdown, breakdown_from_result
+from repro.energy.meters import EnergyMeter, Measurement
+
+__all__ = [
+    "EnergyBreakdown",
+    "breakdown_from_result",
+    "EnergyMeter",
+    "Measurement",
+]

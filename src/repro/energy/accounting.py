@@ -1,0 +1,46 @@
+"""Per-device energy breakdown (paper Fig. 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.engine import RunResult
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy split of one run, with CPU/GPU aggregates."""
+
+    config: str
+    device_j: dict[str, float]
+
+    @property
+    def total_j(self) -> float:
+        return sum(self.device_j.values())
+
+    @property
+    def cpu_j(self) -> float:
+        return sum(v for k, v in self.device_j.items() if k.startswith("cpu"))
+
+    @property
+    def gpu_j(self) -> float:
+        return sum(v for k, v in self.device_j.items() if k.startswith("gpu"))
+
+    @property
+    def cpu_share(self) -> float:
+        return self.cpu_j / self.total_j
+
+    def shares(self) -> dict[str, float]:
+        total = self.total_j
+        return {k: v / total for k, v in self.device_j.items()}
+
+    def rows(self) -> list[tuple[str, float, float]]:
+        """``(device, joules, share)`` rows, CPUs first then GPUs."""
+        keys = sorted(self.device_j, key=lambda k: (not k.startswith("cpu"), k))
+        total = self.total_j
+        return [(k, self.device_j[k], self.device_j[k] / total) for k in keys]
+
+
+def breakdown_from_result(config: str, result: RunResult) -> EnergyBreakdown:
+    """Build a breakdown from a runtime :class:`RunResult`."""
+    return EnergyBreakdown(config=config, device_j=dict(result.energies_j))

@@ -1,0 +1,77 @@
+"""Application-level energy measurement via the NVML/RAPL facades."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import nvml, rapl
+from repro.hardware.node import Node
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One start/stop measurement window."""
+
+    duration_s: float
+    cpu_j: dict[str, float]
+    gpu_j: dict[str, float]
+
+    @property
+    def total_j(self) -> float:
+        return sum(self.cpu_j.values()) + sum(self.gpu_j.values())
+
+    @property
+    def total_cpu_j(self) -> float:
+        return sum(self.cpu_j.values())
+
+    @property
+    def total_gpu_j(self) -> float:
+        return sum(self.gpu_j.values())
+
+    def device_shares(self) -> dict[str, float]:
+        """Per-device fraction of total energy (the paper's Fig. 5 view)."""
+        total = self.total_j
+        out = {}
+        out.update({k: v / total for k, v in self.cpu_j.items()})
+        out.update({k: v / total for k, v in self.gpu_j.items()})
+        return out
+
+
+@dataclass
+class EnergyMeter:
+    """Start/stop meter following the paper's measurement methodology.
+
+    Uses the pynvml-style facade for GPUs (millijoule counters) and the
+    PAPI/RAPL facade for CPU packages (microjoule counters), so the code
+    path is identical to what runs on real hardware.
+    """
+
+    node: Node
+    _t0: float = field(default=0.0, init=False)
+    _gpu0_mj: list[int] = field(default_factory=list, init=False)
+    _papi: rapl.PAPIEnergyCounter | None = field(default=None, init=False)
+
+    def start(self) -> None:
+        nvml.nvmlInit(self.node)
+        self._t0 = self.node.clock.now
+        self._gpu0_mj = [
+            nvml.nvmlDeviceGetTotalEnergyConsumption(nvml.nvmlDeviceGetHandleByIndex(i))
+            for i in range(nvml.nvmlDeviceGetCount())
+        ]
+        self._papi = rapl.PAPIEnergyCounter(self.node)
+        self._papi.start()
+
+    def stop(self) -> Measurement:
+        if self._papi is None:
+            raise RuntimeError("meter not started")
+        gpu_j = {}
+        for i in range(nvml.nvmlDeviceGetCount()):
+            handle = nvml.nvmlDeviceGetHandleByIndex(i)
+            delta_mj = nvml.nvmlDeviceGetTotalEnergyConsumption(handle) - self._gpu0_mj[i]
+            gpu_j[f"gpu{i}"] = delta_mj / 1000.0
+        cpu_j = {
+            f"cpu{i}": joules for i, joules in enumerate(self._papi.stop())
+        }
+        duration = self.node.clock.now - self._t0
+        self._papi = None
+        return Measurement(duration_s=duration, cpu_j=cpu_j, gpu_j=gpu_j)

@@ -1,0 +1,35 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Every module exposes ``run(scale=..., seed=...) -> ExperimentResult``; the
+result carries the printable rows that mirror the paper's artefact.  The
+``scale`` knob controls problem size:
+
+- ``"tiny"`` — CI-speed smoke (shapes only);
+- ``"small"`` — default for benchmarks: reduced tile counts, same DAG shape;
+- ``"paper"`` — the paper's Table II matrix sizes.
+"""
+
+from repro.experiments.runner import SCALES, ExperimentResult
+from repro.experiments import (
+    fig1_sweep,
+    fig3_double,
+    fig4_single,
+    fig5_breakdown,
+    fig6_cpucap,
+    fig7_tilesizes,
+    table1_best,
+    table2_selection,
+)
+
+EXPERIMENTS = {
+    "fig1": fig1_sweep.run,
+    "table1": table1_best.run,
+    "table2": table2_selection.run,
+    "fig3": fig3_double.run,
+    "fig4": fig4_single.run,
+    "fig5": fig5_breakdown.run,
+    "fig6": fig6_cpucap.run,
+    "fig7": fig7_tilesizes.run,
+}
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "SCALES"]

@@ -1,0 +1,69 @@
+"""Fig. 1: power-capping impact on cuBLAS GEMM, A100-SXM4-40GB.
+
+The paper sweeps the cap from 104 W to 400 W (2 % steps) for several matrix
+sizes in single and double precision, and plots energy efficiency,
+performance and energy consumption.  ``run`` reproduces the sweep and
+summarises each curve; ``run(full_series=True)`` additionally emits every
+sweep point, which is the data behind the plotted lines.
+"""
+
+from __future__ import annotations
+
+from repro.core.sweep import best_point, sweep_gemm
+from repro.experiments.runner import ExperimentResult, check_scale
+
+MODEL = "A100-SXM4-40GB"
+
+SIZES = {
+    "tiny": [1024, 2048],
+    "small": [1024, 2048, 3072, 5120],
+    "paper": [1024, 2048, 3072, 4096, 5120],
+}
+
+
+def run(scale: str = "small", seed: int = 0, full_series: bool = False) -> ExperimentResult:
+    check_scale(scale)
+    if full_series:
+        result = ExperimentResult(
+            name="fig1",
+            title=f"GEMM cap sweep on {MODEL} (full series)",
+            headers=["precision", "N", "cap_W", "cap_pct_tdp", "gflops", "power_W", "eff_gflops_per_W"],
+        )
+        for precision in ("double", "single"):
+            for n in SIZES[scale]:
+                for p in sweep_gemm(MODEL, n, precision):
+                    result.rows.append(
+                        (precision, n, p.cap_w, round(p.cap_pct_tdp, 1),
+                         round(p.gflops, 1), round(p.power_w, 1), round(p.efficiency, 2))
+                    )
+        return result
+
+    result = ExperimentResult(
+        name="fig1",
+        title=f"GEMM cap sweep on {MODEL} (per-curve summary)",
+        headers=[
+            "precision", "N", "best_cap_pct", "best_eff", "nocap_eff",
+            "eff_saving_pct", "slowdown_pct",
+        ],
+        notes=[
+            "paper: best eff at 54 % TDP (double) / 40 % (single) on the largest size",
+            "paper: bigger matrices reach better efficiency (higher occupancy)",
+        ],
+    )
+    for precision in ("double", "single"):
+        for n in SIZES[scale]:
+            points = sweep_gemm(MODEL, n, precision)
+            best = best_point(points)
+            nocap = points[-1]
+            result.rows.append(
+                (
+                    precision,
+                    n,
+                    round(best.cap_pct_tdp, 1),
+                    round(best.efficiency, 2),
+                    round(nocap.efficiency, 2),
+                    round(100 * (best.efficiency / nocap.efficiency - 1), 2),
+                    round(100 * (1 - best.gflops / nocap.gflops), 2),
+                )
+            )
+    return result

@@ -1,0 +1,17 @@
+"""Fig. 3: GEMM and POTRF under cap configurations, double precision."""
+
+from __future__ import annotations
+
+from repro.experiments.figs34 import run_precision
+from repro.experiments.runner import ExperimentResult
+
+
+def run(scale: str = "small", seed: int = 0, platforms: list[str] | None = None) -> ExperimentResult:
+    result = run_precision("double", "fig3", scale=scale, seed=seed, platforms=platforms)
+    result.notes = [
+        "paper 32-AMD-4-A100 GEMM: BBBB eff ~52 vs HHHH ~41 (+20-24 %), perf -21 %",
+        "paper 32-AMD-4-A100: HHHB saves ~4 % energy (+5 % eff); LLLL: perf -80 %, energy +60 %",
+        "paper 24-Intel-2-V100: BB 21.3 vs HH 19.5 Gflop/s/W (+9.2 %)",
+        "paper 64-AMD-2-A100: default config stays best (narrow cap range, heavy CPUs)",
+    ]
+    return result

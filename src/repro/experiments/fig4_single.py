@@ -1,0 +1,17 @@
+"""Fig. 4: GEMM and POTRF under cap configurations, single precision."""
+
+from __future__ import annotations
+
+from repro.experiments.figs34 import run_precision
+from repro.experiments.runner import ExperimentResult
+
+
+def run(scale: str = "small", seed: int = 0, platforms: list[str] | None = None) -> ExperimentResult:
+    result = run_precision("single", "fig4", scale=scale, seed=seed, platforms=platforms)
+    result.notes = [
+        "paper 32-AMD-4-A100: BBBB +33.78 % efficiency (GEMM); HHBB ~9.5 % energy "
+        "saving at -14.6 % perf (eff 54.9 vs 49.7)",
+        "paper: single precision benefits more from capping than double",
+        "paper 64-AMD-2-A100: L and B coincide at 150 W (60 % TDP) for single",
+    ]
+    return result

@@ -1,0 +1,67 @@
+"""Fig. 7: energy efficiency across tile sizes, all platforms.
+
+The paper's summary figure: the capping conclusions hold across tile sizes.
+For each platform, operation, precision and a set of tile sizes, run the
+default, the half-capped and the all-B configurations and report efficiency.
+On 24-Intel-2-V100 one CPU is power capped, matching Fig. 7c.
+"""
+
+from __future__ import annotations
+
+from repro.core.capconfig import CapConfig, CapStates
+from repro.core.tradeoff import OperationSpec, run_operation
+from repro.experiments.platforms import (
+    PAPER_CPU_CAPS,
+    derived_best_cap_w,
+)
+from repro.experiments.runner import ExperimentResult, check_scale
+from repro.hardware.catalog import PLATFORMS, gpu_spec, platform_names
+
+#: Tile sizes per platform (the Table II size plus neighbours).
+TILE_SIZES = {
+    "24-Intel-2-V100": {"gemm": [1920, 2880, 3840], "potrf": [1920, 2880]},
+    "64-AMD-2-A100": {"gemm": [2880, 5760], "potrf": [2880, 3840]},
+    "32-AMD-4-A100": {"gemm": [2880, 5760], "potrf": [2880, 3840]},
+}
+
+_SCALE_NT = {"tiny": {"gemm": 3, "potrf": 5}, "small": {"gemm": 6, "potrf": 10},
+             "paper": {"gemm": 13, "potrf": 40}}
+
+
+def _configs(n_gpus: int) -> list[CapConfig]:
+    half = "H" * (n_gpus // 2) + "B" * (n_gpus - n_gpus // 2)
+    return [CapConfig("H" * n_gpus), CapConfig(half), CapConfig("B" * n_gpus)]
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    check_scale(scale)
+    result = ExperimentResult(
+        name="fig7",
+        title="Energy efficiency (Gflop/s/W) across tile sizes "
+        "(CPU capped on 24-Intel-2-V100)",
+        headers=["platform", "operation", "precision", "Nt", "config", "eff_gflops_per_W"],
+        notes=[
+            "paper: all-B gives the best efficiency in most cases, on every tile size",
+            "paper: lower precision benefits more from capping",
+        ],
+    )
+    for platform in platform_names():
+        pspec = PLATFORMS[platform]
+        gspec = gpu_spec(pspec.gpu_model)
+        for op in ("gemm", "potrf"):
+            for precision in ("double", "single"):
+                for nb in TILE_SIZES[platform][op]:
+                    nt = _SCALE_NT[scale][op]
+                    spec = OperationSpec(op=op, n=nb * nt, nb=nb, precision=precision)
+                    b_w = derived_best_cap_w(gspec.model, precision, nb)
+                    states = CapStates(h_w=gspec.cap_max_w, b_w=b_w, l_w=gspec.cap_min_w)
+                    for config in _configs(pspec.n_gpus):
+                        m = run_operation(
+                            platform, spec, config, states,
+                            seed=seed, cpu_caps=PAPER_CPU_CAPS[platform],
+                        )
+                        result.rows.append(
+                            (platform, op, precision, nb, config.letters,
+                             round(m.efficiency, 2))
+                        )
+    return result

@@ -1,0 +1,65 @@
+"""Shared driver for Figs. 3 (double) and 4 (single).
+
+For every platform and both operations, run the configuration ladder and
+report the paper's three quantities per configuration: performance change,
+energy change (positive = saving) and energy efficiency — all relative to
+the all-H default.  On the Intel platform the paper's CPU cap is applied
+(see the Fig. 6 caption).
+"""
+
+from __future__ import annotations
+
+from repro.core.tradeoff import run_config_set
+from repro.experiments.platforms import (
+    PAPER_CPU_CAPS,
+    cap_states,
+    config_list,
+    operation_spec,
+)
+from repro.experiments.runner import ExperimentResult, check_scale
+from repro.hardware.catalog import platform_names
+
+
+def run_precision(
+    precision: str,
+    name: str,
+    scale: str = "small",
+    seed: int = 0,
+    platforms: list[str] | None = None,
+    ops: tuple[str, ...] = ("gemm", "potrf"),
+) -> ExperimentResult:
+    check_scale(scale)
+    result = ExperimentResult(
+        name=name,
+        title=f"Performance and energy analysis, {precision} precision "
+        "(deltas vs the all-H default)",
+        headers=[
+            "platform", "operation", "config",
+            "perf_delta_pct", "energy_saving_pct", "eff_gflops_per_W",
+            "gpu_task_frac",
+        ],
+    )
+    for platform in platforms or platform_names():
+        for op in ops:
+            spec = operation_spec(platform, op, precision, scale)
+            states = cap_states(platform, op, precision, scale)
+            configs = config_list(platform)
+            metrics = run_config_set(
+                platform, spec, configs, states,
+                seed=seed, cpu_caps=PAPER_CPU_CAPS[platform],
+            )
+            base = metrics["H" * len(configs[0].letters)]
+            for config in configs:
+                m = metrics[config.letters]
+                result.rows.append(
+                    (
+                        platform,
+                        op,
+                        config.letters,
+                        round(m.perf_delta_pct(base), 2),
+                        round(m.energy_saving_pct(base), 2),
+                        round(m.efficiency, 2),
+                        round(m.gpu_task_fraction, 3),
+                    )
+                )
+    return result

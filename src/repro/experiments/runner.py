@@ -1,0 +1,47 @@
+"""Shared experiment plumbing: result container and scale handling."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.reporting import format_table, to_csv
+
+SCALES = ("tiny", "small", "paper")
+
+
+def check_scale(scale: str) -> str:
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; have {SCALES}")
+    return scale
+
+
+@dataclass
+class ExperimentResult:
+    """Printable reproduction of one paper artefact."""
+
+    name: str
+    title: str
+    headers: list[str]
+    rows: list[Sequence] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def table(self) -> str:
+        text = format_table(self.headers, self.rows, title=f"[{self.name}] {self.title}")
+        if self.notes:
+            text += "".join(f"  note: {n}\n" for n in self.notes)
+        return text
+
+    def csv(self) -> str:
+        return to_csv(self.headers, self.rows)
+
+    def column(self, header: str) -> list:
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+    def row_by(self, header: str, value) -> Sequence:
+        idx = self.headers.index(header)
+        for row in self.rows:
+            if row[idx] == value:
+                return row
+        raise KeyError(f"no row with {header}={value!r}")

@@ -1,0 +1,60 @@
+"""Table I: best energy-efficiency configuration per GPU and precision.
+
+For every GPU model, sweep caps over a set of matrix sizes and keep the
+globally best point.  Paper values are printed alongside for comparison.
+"""
+
+from __future__ import annotations
+
+from repro.core.bestcap import best_cap_for_gemm
+from repro.experiments.runner import ExperimentResult, check_scale
+
+#: Paper Table I: (model, precision) -> (matrix size, cap % TDP, saving %).
+PAPER_TABLE1 = {
+    ("A100-SXM4-40GB", "single"): (5120, 40, 27.76),
+    ("A100-SXM4-40GB", "double"): (5120, 54, 28.81),
+    ("A100-PCIE-40GB", "single"): (5760, 60, 23.17),
+    ("A100-PCIE-40GB", "double"): (5760, 78, 10.92),
+    ("V100-PCIE-32GB", "single"): (5120, 58, 20.74),
+    ("V100-PCIE-32GB", "double"): (5120, 60, 18.52),
+}
+
+SIZES = {
+    "tiny": {"A100-SXM4-40GB": [5120], "A100-PCIE-40GB": [5760], "V100-PCIE-32GB": [5120]},
+    "small": {
+        "A100-SXM4-40GB": [2048, 5120],
+        "A100-PCIE-40GB": [2880, 5760],
+        "V100-PCIE-32GB": [2048, 5120],
+    },
+    "paper": {
+        "A100-SXM4-40GB": [1024, 2048, 3072, 4096, 5120],
+        "A100-PCIE-40GB": [1440, 2880, 4320, 5760],
+        "V100-PCIE-32GB": [1024, 2048, 3072, 4096, 5120],
+    },
+}
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    check_scale(scale)
+    result = ExperimentResult(
+        name="table1",
+        title="Best configuration for energy efficiency per GPU and precision",
+        headers=[
+            "GPU", "precision", "matrix_size", "cap_pct_tdp", "eff_saving_pct",
+            "paper_cap_pct", "paper_saving_pct",
+        ],
+    )
+    for (model, precision), (p_n, p_cap, p_save) in PAPER_TABLE1.items():
+        best = best_cap_for_gemm(model, precision, SIZES[scale][model])
+        result.rows.append(
+            (
+                model,
+                precision,
+                best.matrix_size,
+                round(best.cap_pct_tdp, 0),
+                round(best.efficiency_saving_pct, 2),
+                p_cap,
+                p_save,
+            )
+        )
+    return result

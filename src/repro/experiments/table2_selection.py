@@ -1,0 +1,43 @@
+"""Table II: operation sizes and derived ``P_best`` per platform.
+
+Reports, for every (platform, operation, precision) row of the paper's
+Table II, the matrix/tile sizes used and the best cap our sweep derives at
+the operation's tile size, next to the paper's value.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.platforms import TABLE2_PAPER, cap_states, operation_spec
+from repro.experiments.runner import ExperimentResult, check_scale
+from repro.hardware.catalog import PLATFORMS, gpu_spec
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    check_scale(scale)
+    result = ExperimentResult(
+        name="table2",
+        title="Operation sizes and cap states (H/B/L) per platform",
+        headers=[
+            "platform", "operation", "precision", "N", "Nt",
+            "P_min_W", "P_best_W", "P_best_pct", "paper_best_pct", "P_max_W",
+        ],
+    )
+    for (platform, op, precision), (n_paper, nb, paper_pct) in TABLE2_PAPER.items():
+        spec = operation_spec(platform, op, precision, scale)
+        states = cap_states(platform, op, precision, scale)
+        tdp = gpu_spec(PLATFORMS[platform].gpu_model).tdp_w
+        result.rows.append(
+            (
+                platform,
+                op,
+                precision,
+                spec.n if scale != "paper" else n_paper,
+                nb,
+                states.l_w,
+                round(states.b_w, 0),
+                round(100 * states.b_w / tdp, 0),
+                paper_pct,
+                states.h_w,
+            )
+        )
+    return result

@@ -1,0 +1,43 @@
+"""Simulated heterogeneous-node hardware.
+
+This package replaces the paper's Grid'5000 nodes.  It provides:
+
+- :mod:`repro.hardware.dvfs` — the cap->frequency->power model whose shape
+  (interior energy-efficiency optimum below TDP) reproduces the paper's Fig. 1;
+- :mod:`repro.hardware.specs` — immutable device/link descriptions;
+- :mod:`repro.hardware.gpu` / :mod:`repro.hardware.cpu` — stateful devices with
+  power capping and energy integration;
+- :mod:`repro.hardware.interconnect` — PCIe-style links with FIFO contention;
+- :mod:`repro.hardware.node` — a node assembling CPUs, GPUs and links;
+- :mod:`repro.hardware.catalog` — the three paper platforms
+  (``24-Intel-2-V100``, ``64-AMD-2-A100``, ``32-AMD-4-A100``).
+"""
+
+from repro.hardware.catalog import (
+    PLATFORMS,
+    build_platform,
+    gpu_spec,
+    platform_names,
+)
+from repro.hardware.cpu import CPUPackage
+from repro.hardware.dvfs import PowerProfile, calibrate_profile
+from repro.hardware.gpu import GPUDevice
+from repro.hardware.interconnect import Link
+from repro.hardware.node import Node
+from repro.hardware.specs import CPUSpec, GPUSpec, LinkSpec
+
+__all__ = [
+    "PLATFORMS",
+    "build_platform",
+    "gpu_spec",
+    "platform_names",
+    "CPUPackage",
+    "PowerProfile",
+    "calibrate_profile",
+    "GPUDevice",
+    "Link",
+    "Node",
+    "CPUSpec",
+    "GPUSpec",
+    "LinkSpec",
+]

@@ -1,0 +1,284 @@
+"""Device catalog and the paper's three platforms.
+
+Every GPU power profile is *calibrated* against numbers the paper reports
+(Table I best caps and efficiency savings, the Fig. 1 slowdown at the best
+cap), via :func:`repro.hardware.dvfs.calibrate_profile`:
+
+===============  =========  ======  ==========  ==========  ===========
+GPU              precision  TDP     max draw    best cap    perf ratio
+===============  =========  ======  ==========  ==========  ===========
+A100-SXM4-40GB   double     400 W   360 W       216 W (54%) 0.771
+A100-SXM4-40GB   single     400 W   300 W       160 W (40%) 0.681
+A100-PCIE-40GB   double     250 W   240 W       195 W (78%) 0.901
+A100-PCIE-40GB   single     250 W   230 W       150 W (60%) 0.803
+V100-PCIE-32GB   double     250 W   235 W       150 W (60%) 0.756
+V100-PCIE-32GB   single     250 W   225 W       145 W (58%) 0.778
+===============  =========  ======  ==========  ==========  ===========
+
+The perf ratios are derived from the paper's "efficiency saving at best cap"
+figures: ``saving = perf_ratio * max_draw / best_cap - 1`` (Table I), with the
+A100-SXM4 double value given directly in the text (22.93 % slowdown).
+
+Peak Gflop/s are effective cuBLAS GEMM rates.  Note the paper's quirk that
+tensor cores are used for double precision but not single on these parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.hardware.dvfs import PowerProfile, calibrate_profile
+from repro.hardware.gpu import Clock
+from repro.hardware.node import Node
+from repro.hardware.specs import CPUSpec, GPUSpec, LinkSpec
+from repro.sim.tracing import Tracer
+
+# --------------------------------------------------------------------- GPUs
+
+
+def _profiles(
+    targets: dict[str, tuple],
+    cap_min: float,
+    f_min: float = 0.15,
+) -> dict[str, PowerProfile]:
+    """Calibrate one profile per precision.
+
+    Each target is ``(max draw, best cap, perf ratio at best cap)`` with an
+    optional fourth element ``(low cap, perf ratio at low cap)`` anchoring
+    the bottom of the curve.
+    """
+    out: dict[str, PowerProfile] = {}
+    for prec, target in targets.items():
+        p_max, p_star, perf_ratio = target[:3]
+        low_anchor = target[3] if len(target) > 3 else None
+        out[prec] = calibrate_profile(
+            p_max=p_max,
+            p_star=p_star,
+            perf_ratio=perf_ratio,
+            cap_min=cap_min,
+            f_min=f_min,
+            low_anchor=low_anchor,
+        )
+    return out
+
+
+def _a100_sxm4() -> GPUSpec:
+    return GPUSpec(
+        model="A100-SXM4-40GB",
+        memory_gb=40.0,
+        tdp_w=400.0,
+        cap_min_w=100.0,
+        cap_max_w=400.0,
+        idle_w=52.0,
+        n_sm=108,
+        mem_bw_gbs=1555.0,
+        peak_gflops={"double": 17500.0, "single": 18000.0},
+        power_profiles=_profiles(
+            {
+                # (max draw, best cap, perf@best, (low cap, perf@low))
+                "double": (360.0, 216.0, 0.7707, (100.0, 0.17)),
+                "single": (300.0, 160.0, 0.681, (100.0, 0.24)),
+            },
+            cap_min=100.0,
+            f_min=0.10,
+        ),
+        tensor_cores={"double": True, "single": False},
+    )
+
+
+def _a100_pcie() -> GPUSpec:
+    return GPUSpec(
+        model="A100-PCIE-40GB",
+        memory_gb=40.0,
+        tdp_w=250.0,
+        cap_min_w=150.0,
+        cap_max_w=250.0,
+        idle_w=42.0,
+        n_sm=108,
+        mem_bw_gbs=1555.0,
+        peak_gflops={"double": 16500.0, "single": 17000.0},
+        power_profiles=_profiles(
+            {
+                "double": (240.0, 195.0, 0.901, (150.0, 0.63)),
+                "single": (230.0, 150.0, 0.803),
+            },
+            cap_min=150.0,
+            f_min=0.12,
+        ),
+        tensor_cores={"double": True, "single": False},
+    )
+
+
+def _v100_pcie() -> GPUSpec:
+    return GPUSpec(
+        model="V100-PCIE-32GB",
+        memory_gb=32.0,
+        tdp_w=250.0,
+        cap_min_w=100.0,
+        cap_max_w=250.0,
+        idle_w=30.0,
+        n_sm=80,
+        mem_bw_gbs=900.0,
+        peak_gflops={"double": 6500.0, "single": 13000.0},
+        power_profiles=_profiles(
+            {
+                "double": (235.0, 150.0, 0.756, (100.0, 0.45)),
+                "single": (225.0, 145.0, 0.778, (100.0, 0.45)),
+            },
+            cap_min=100.0,
+            f_min=0.12,
+        ),
+        tensor_cores={"double": True, "single": False},
+    )
+
+
+_GPU_FACTORIES = {
+    "A100-SXM4-40GB": _a100_sxm4,
+    "A100-PCIE-40GB": _a100_pcie,
+    "V100-PCIE-32GB": _v100_pcie,
+}
+
+_GPU_CACHE: dict[str, GPUSpec] = {}
+
+
+def gpu_spec(model: str) -> GPUSpec:
+    """Catalog lookup (cached — calibration is deterministic)."""
+    if model not in _GPU_FACTORIES:
+        raise KeyError(f"unknown GPU model {model!r}; have {sorted(_GPU_FACTORIES)}")
+    if model not in _GPU_CACHE:
+        _GPU_CACHE[model] = _GPU_FACTORIES[model]()
+    return _GPU_CACHE[model]
+
+
+def gpu_models() -> list[str]:
+    return sorted(_GPU_FACTORIES)
+
+
+# --------------------------------------------------------------------- CPUs
+
+XEON_GOLD_6126 = CPUSpec(
+    model="Xeon-Gold-6126",
+    n_cores=12,
+    base_ghz=2.60,
+    tdp_w=125.0,
+    idle_w=20.0,
+    core_gflops={"double": 35.0, "single": 70.0},
+    cap_min_w=40.0,
+    cap_max_w=125.0,
+    supports_capping=True,
+)
+
+# The paper reports a 125 W TDP for the EPYC packages on grouille; we follow
+# the paper rather than the datasheet.  AMD RAPL capping was unavailable to
+# the authors, which `supports_capping=False` reproduces.
+EPYC_7452 = CPUSpec(
+    model="EPYC-7452",
+    n_cores=32,
+    base_ghz=2.35,
+    tdp_w=125.0,
+    idle_w=35.0,
+    core_gflops={"double": 25.0, "single": 50.0},
+    supports_capping=False,
+)
+
+EPYC_7513 = CPUSpec(
+    model="EPYC-7513",
+    n_cores=32,
+    base_ghz=2.60,
+    tdp_w=200.0,
+    idle_w=40.0,
+    core_gflops={"double": 30.0, "single": 60.0},
+    supports_capping=False,
+)
+
+# --------------------------------------------------------------------- links
+
+PCIE3_X16 = LinkSpec(name="pcie3", bandwidth_gbs=12.0)
+PCIE4_X16 = LinkSpec(name="pcie4", bandwidth_gbs=21.0)
+
+# ----------------------------------------------------------------- platforms
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Composition of one of the paper's Grid'5000 nodes."""
+
+    name: str
+    grid5000_host: str
+    cpu_models: tuple[str, ...]
+    gpu_model: str
+    n_gpus: int
+    link: LinkSpec
+
+    def cpu_specs(self) -> list[CPUSpec]:
+        table = {
+            "Xeon-Gold-6126": XEON_GOLD_6126,
+            "EPYC-7452": EPYC_7452,
+            "EPYC-7513": EPYC_7513,
+        }
+        return [table[m] for m in self.cpu_models]
+
+
+PLATFORMS: dict[str, PlatformSpec] = {
+    "24-Intel-2-V100": PlatformSpec(
+        name="24-Intel-2-V100",
+        grid5000_host="chifflot-7 (Lille)",
+        cpu_models=("Xeon-Gold-6126", "Xeon-Gold-6126"),
+        gpu_model="V100-PCIE-32GB",
+        n_gpus=2,
+        link=PCIE3_X16,
+    ),
+    "64-AMD-2-A100": PlatformSpec(
+        name="64-AMD-2-A100",
+        grid5000_host="grouille-1 (Nancy)",
+        cpu_models=("EPYC-7452", "EPYC-7452"),
+        gpu_model="A100-PCIE-40GB",
+        n_gpus=2,
+        link=PCIE4_X16,
+    ),
+    "32-AMD-4-A100": PlatformSpec(
+        name="32-AMD-4-A100",
+        grid5000_host="chuc-1 (Lille)",
+        cpu_models=("EPYC-7513",),
+        gpu_model="A100-SXM4-40GB",
+        n_gpus=4,
+        link=PCIE4_X16,
+    ),
+}
+
+
+def platform_names() -> list[str]:
+    return list(PLATFORMS)
+
+
+def build_platform(
+    name: str,
+    clock: Clock,
+    tracer: Optional[Tracer] = None,
+) -> Node:
+    """Instantiate one of the paper's platforms on a simulation clock."""
+    try:
+        spec = PLATFORMS[name]
+    except KeyError:
+        raise KeyError(f"unknown platform {name!r}; have {platform_names()}") from None
+    return Node(
+        name=name,
+        clock=clock,
+        cpu_specs=spec.cpu_specs(),
+        gpu_specs=[gpu_spec(spec.gpu_model)] * spec.n_gpus,
+        link_spec=spec.link,
+        tracer=tracer,
+    )
+
+
+def build_custom(
+    name: str,
+    clock: Clock,
+    cpu_specs: Sequence[CPUSpec],
+    gpu_specs: Sequence[GPUSpec],
+    link: LinkSpec = PCIE4_X16,
+    tracer: Optional[Tracer] = None,
+) -> Node:
+    """Escape hatch for user-defined platforms (used by examples/tests)."""
+    return Node(name, clock, list(cpu_specs), list(gpu_specs), link, tracer)

@@ -1,0 +1,148 @@
+"""Stateful GPU device: power capping, boost clocks, energy integration.
+
+A :class:`GPUDevice` executes at most one kernel at a time (mirroring a
+StarPU CUDA worker driving one stream).  Its power draw is a step function of
+time — idle power between kernels, the profile's capped busy power during a
+kernel — and the energy counter integrates that step function exactly, which
+is what the simulated NVML total-energy counter reads.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from repro.hardware.specs import GPUSpec
+from repro.sim.tracing import Tracer
+
+
+class Clock(Protocol):
+    """Anything with a ``now`` attribute in seconds (e.g. the Simulator)."""
+
+    now: float
+
+
+class PowerLimitError(ValueError):
+    """Raised for cap requests outside the device constraints."""
+
+
+class DeviceBusyError(RuntimeError):
+    """Raised when a second kernel is started on a busy device."""
+
+
+class GPUDevice:
+    """One simulated GPU with NVML-style power management."""
+
+    def __init__(
+        self,
+        spec: GPUSpec,
+        index: int,
+        clock: Clock,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.spec = spec
+        self.index = index
+        self.name = f"gpu{index}"
+        self._clock = clock
+        self._tracer = tracer
+        self._power_limit_w = spec.cap_max_w
+        self._busy = False
+        self._kernel_label = ""
+        self._power_w = spec.idle_w
+        self._energy_j = 0.0
+        self._last_t = clock.now
+
+    # ------------------------------------------------------------ accounting
+
+    def _advance(self) -> None:
+        now = self._clock.now
+        if now < self._last_t:
+            raise RuntimeError("clock moved backwards")
+        self._energy_j += self._power_w * (now - self._last_t)
+        self._last_t = now
+
+    def _set_power(self, watts: float) -> None:
+        self._advance()
+        self._power_w = watts
+
+    def energy_j(self) -> float:
+        """Total energy consumed since construction (Joules)."""
+        self._advance()
+        return self._energy_j
+
+    def reset_energy(self) -> None:
+        self._advance()
+        self._energy_j = 0.0
+
+    @property
+    def power_w(self) -> float:
+        """Instantaneous power draw (W)."""
+        return self._power_w
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    # ---------------------------------------------------------- power limits
+
+    @property
+    def power_limit_w(self) -> float:
+        return self._power_limit_w
+
+    def set_power_limit(self, watts: float) -> None:
+        """Apply a power cap; NVML-style range validation."""
+        if not self.spec.cap_min_w <= watts <= self.spec.cap_max_w:
+            raise PowerLimitError(
+                f"{self.spec.model}: cap {watts} W outside "
+                f"[{self.spec.cap_min_w}, {self.spec.cap_max_w}] W"
+            )
+        self._power_limit_w = float(watts)
+        if self._tracer is not None:
+            self._tracer.point(self.name, "cap", self._clock.now, f"{watts:.0f}W")
+
+    def power_limit_fraction(self) -> float:
+        """Current cap as a fraction of TDP."""
+        return self._power_limit_w / self.spec.tdp_w
+
+    # ------------------------------------------------------- operating point
+
+    def effective_freq(self, precision: str, activity: float = 1.0) -> float:
+        """Boost frequency (normalised) the governor reaches under the cap."""
+        profile = self.spec.power_profiles[precision]
+        return profile.freq_at_cap(self._power_limit_w, activity)
+
+    def perf_scale(self, precision: str, activity: float = 1.0) -> float:
+        """Throughput relative to the uncapped device for this workload."""
+        profile = self.spec.power_profiles[precision]
+        return profile.perf_scale(self.effective_freq(precision, activity))
+
+    def busy_power(self, precision: str, activity: float = 1.0) -> float:
+        """Power drawn while running such a kernel under the current cap."""
+        profile = self.spec.power_profiles[precision]
+        f = profile.freq_at_cap(self._power_limit_w, activity)
+        return profile.power(f, activity)
+
+    # ------------------------------------------------------------- execution
+
+    def begin_kernel(self, precision: str, activity: float = 1.0, label: str = "") -> float:
+        """Mark the device busy; returns the effective normalised frequency."""
+        if self._busy:
+            raise DeviceBusyError(f"{self.name} already running {self._kernel_label!r}")
+        self._busy = True
+        self._kernel_label = label
+        f = self.effective_freq(precision, activity)
+        profile = self.spec.power_profiles[precision]
+        self._set_power(profile.power(f, activity))
+        return f
+
+    def end_kernel(self) -> None:
+        if not self._busy:
+            raise RuntimeError(f"{self.name} not running a kernel")
+        self._busy = False
+        self._kernel_label = ""
+        self._set_power(self.spec.idle_w)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<GPUDevice {self.name} {self.spec.model} cap={self._power_limit_w:.0f}W "
+            f"{'busy' if self._busy else 'idle'}>"
+        )

@@ -1,0 +1,76 @@
+"""Host<->GPU interconnect with per-direction FIFO contention.
+
+Each GPU gets a dedicated full-duplex link (PCIe x16 or an NVLink-class
+connection).  Transfers in the same direction serialise; opposite directions
+do not interfere.  This is the model StarPU itself assumes when it estimates
+transfer penalties in its ``dmda`` scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Optional
+
+from repro.hardware.gpu import Clock
+from repro.hardware.specs import LinkSpec
+from repro.sim.tracing import Tracer
+
+Direction = Literal["h2d", "d2h"]
+
+DIRECTIONS: tuple[Direction, Direction] = ("h2d", "d2h")
+
+
+class Link:
+    """One full-duplex host<->device link."""
+
+    def __init__(
+        self,
+        spec: LinkSpec,
+        clock: Clock,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.spec = spec
+        self.name = spec.name
+        self._clock = clock
+        self._tracer = tracer
+        self._avail_at: dict[Direction, float] = {"h2d": 0.0, "d2h": 0.0}
+        self.bytes_moved: dict[Direction, int] = {"h2d": 0, "d2h": 0}
+        self.n_transfers: dict[Direction, int] = {"h2d": 0, "d2h": 0}
+
+    def busy_until(self, direction: Direction) -> float:
+        """Completion time of the last booked transfer in ``direction``."""
+        return self._avail_at[direction]
+
+    def earliest_start(self, direction: Direction, not_before: Optional[float] = None) -> float:
+        """When a new transfer in ``direction`` could begin."""
+        floor = self._clock.now if not_before is None else max(self._clock.now, not_before)
+        return max(floor, self._avail_at[direction])
+
+    def estimate(self, nbytes: int, direction: Direction) -> float:
+        """Completion-time estimate for a transfer submitted now (seconds
+        from now), including queueing behind in-flight transfers."""
+        start = self.earliest_start(direction)
+        return (start - self._clock.now) + self.spec.transfer_time(nbytes)
+
+    def reserve(
+        self,
+        nbytes: int,
+        direction: Direction,
+        label: str = "",
+        not_before: Optional[float] = None,
+    ) -> tuple[float, float]:
+        """Book a transfer; returns absolute ``(start, end)`` times."""
+        if direction not in DIRECTIONS:
+            raise ValueError(f"bad direction {direction!r}")
+        start = self.earliest_start(direction, not_before)
+        end = start + self.spec.transfer_time(nbytes)
+        self._avail_at[direction] = end
+        self.bytes_moved[direction] += nbytes
+        self.n_transfers[direction] += 1
+        if self._tracer is not None and nbytes > 0:
+            self._tracer.interval(
+                self.name, f"xfer-{direction}", start, end, label, nbytes=nbytes
+            )
+        return start, end
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Link {self.name} {self.spec.bandwidth_gbs} GB/s>"

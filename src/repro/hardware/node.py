@@ -1,0 +1,118 @@
+"""A heterogeneous compute node: CPU packages + GPUs + links.
+
+Memory nodes follow the StarPU numbering convention: node 0 is host RAM and
+node ``1 + i`` is the memory of GPU ``i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.hardware.cpu import CPUPackage
+from repro.hardware.gpu import Clock, GPUDevice
+from repro.hardware.interconnect import Link
+from repro.hardware.specs import CPUSpec, GPUSpec, LinkSpec
+from repro.sim.tracing import Tracer
+
+#: Memory node id of host RAM.
+MEM_HOST = 0
+
+
+class Node:
+    """One simulated machine, mirroring a Grid'5000 node from the paper."""
+
+    def __init__(
+        self,
+        name: str,
+        clock: Clock,
+        cpu_specs: Sequence[CPUSpec],
+        gpu_specs: Sequence[GPUSpec],
+        link_spec: LinkSpec,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if not cpu_specs:
+            raise ValueError("a node needs at least one CPU package")
+        self.name = name
+        self.clock = clock
+        self.tracer = tracer
+        self.cpus = [CPUPackage(spec, i, clock, tracer) for i, spec in enumerate(cpu_specs)]
+        self.gpus = [GPUDevice(spec, i, clock, tracer) for i, spec in enumerate(gpu_specs)]
+        self.links = [
+            Link(replace(link_spec, name=f"{link_spec.name}-gpu{i}"), clock, tracer)
+            for i in range(len(gpu_specs))
+        ]
+
+    # ------------------------------------------------------------- structure
+
+    @property
+    def n_gpus(self) -> int:
+        return len(self.gpus)
+
+    @property
+    def total_cores(self) -> int:
+        return sum(cpu.spec.n_cores for cpu in self.cpus)
+
+    @property
+    def n_mem_nodes(self) -> int:
+        """Host plus one memory node per GPU."""
+        return 1 + len(self.gpus)
+
+    def mem_node_of_gpu(self, gpu_index: int) -> int:
+        return 1 + gpu_index
+
+    def gpu_of_mem_node(self, mem_node: int) -> GPUDevice:
+        if mem_node <= MEM_HOST or mem_node > len(self.gpus):
+            raise ValueError(f"memory node {mem_node} is not a GPU node")
+        return self.gpus[mem_node - 1]
+
+    def link_of_mem_node(self, mem_node: int) -> Link:
+        if mem_node <= MEM_HOST or mem_node > len(self.links):
+            raise ValueError(f"memory node {mem_node} has no link")
+        return self.links[mem_node - 1]
+
+    def package_of_core(self, core_index: int) -> CPUPackage:
+        """CPU package owning a flat core index (cores numbered per package)."""
+        for cpu in self.cpus:
+            if core_index < cpu.spec.n_cores:
+                return cpu
+            core_index -= cpu.spec.n_cores
+        raise ValueError("core index out of range")
+
+    # ----------------------------------------------------------------- power
+
+    def set_gpu_caps(self, watts: Sequence[float]) -> None:
+        """Apply one cap per GPU (the unbalanced-capping entry point)."""
+        if len(watts) != len(self.gpus):
+            raise ValueError(f"expected {len(self.gpus)} caps, got {len(watts)}")
+        for gpu, w in zip(self.gpus, watts):
+            gpu.set_power_limit(w)
+
+    def gpu_caps(self) -> list[float]:
+        return [gpu.power_limit_w for gpu in self.gpus]
+
+    # ---------------------------------------------------------------- energy
+
+    def device_energies_j(self) -> dict[str, float]:
+        """Energy per device since the last reset (Fig. 5 breakdown)."""
+        out: dict[str, float] = {}
+        for cpu in self.cpus:
+            out[cpu.name] = cpu.energy_j()
+        for gpu in self.gpus:
+            out[gpu.name] = gpu.energy_j()
+        return out
+
+    def total_energy_j(self) -> float:
+        return sum(self.device_energies_j().values())
+
+    def reset_energy(self) -> None:
+        for cpu in self.cpus:
+            cpu.reset_energy()
+        for gpu in self.gpus:
+            gpu.reset_energy()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Node {self.name}: {len(self.cpus)}x{self.cpus[0].spec.model}, "
+            f"{len(self.gpus)} GPUs>"
+        )

@@ -1,0 +1,98 @@
+"""Immutable hardware descriptions.
+
+Specs are pure data: all state (current cap, energy counters) lives in the
+device classes.  Peak rates are *effective GEMM* rates — what a tuned BLAS
+reaches, not the marketing peak — because every model downstream is calibrated
+against measured paper numbers, not datasheets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.dvfs import PowerProfile
+
+#: Numerical precisions used throughout the reproduction.
+PRECISIONS = ("single", "double")
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of a GPU model.
+
+    ``power_profiles`` maps precision -> calibrated :class:`PowerProfile`;
+    ``peak_gflops`` maps precision -> effective GEMM Gflop/s at full boost.
+    """
+
+    model: str
+    memory_gb: float
+    tdp_w: float
+    cap_min_w: float
+    cap_max_w: float
+    idle_w: float
+    n_sm: int
+    mem_bw_gbs: float
+    peak_gflops: dict[str, float]
+    power_profiles: dict[str, PowerProfile]
+    launch_overhead_s: float = 6e-6
+    tensor_cores: dict[str, bool] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cap_min_w > self.cap_max_w:
+            raise ValueError("cap_min_w must not exceed cap_max_w")
+        for prec in PRECISIONS:
+            if prec not in self.peak_gflops:
+                raise ValueError(f"missing peak_gflops[{prec!r}] for {self.model}")
+            if prec not in self.power_profiles:
+                raise ValueError(f"missing power_profiles[{prec!r}] for {self.model}")
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Static description of one CPU package (socket)."""
+
+    model: str
+    n_cores: int
+    base_ghz: float
+    tdp_w: float
+    idle_w: float
+    core_gflops: dict[str, float]
+    cap_min_w: float = 0.0
+    cap_max_w: float = 0.0
+    f_min: float = 0.4
+    supports_capping: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cap_max_w == 0.0:
+            object.__setattr__(self, "cap_max_w", self.tdp_w)
+        if self.cap_min_w == 0.0:
+            object.__setattr__(self, "cap_min_w", self.idle_w + 5.0)
+        for prec in PRECISIONS:
+            if prec not in self.core_gflops:
+                raise ValueError(f"missing core_gflops[{prec!r}] for {self.model}")
+
+    @property
+    def dynamic_w(self) -> float:
+        """Package dynamic power with all cores busy at full frequency."""
+        return self.tdp_w - self.idle_w
+
+    @property
+    def per_core_w(self) -> float:
+        return self.dynamic_w / self.n_cores
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A host<->device interconnect (PCIe or NVLink-ish)."""
+
+    name: str
+    bandwidth_gbs: float
+    latency_s: float = 10e-6
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Time to move ``nbytes`` over an uncontended link."""
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        if nbytes == 0:
+            return 0.0
+        return self.latency_s + nbytes / (self.bandwidth_gbs * 1e9)

@@ -1,0 +1,75 @@
+"""Thermal-throttling fault injection.
+
+Real GPUs under sustained load occasionally throttle below the configured
+power limit (hot spots, ambient drift).  :class:`ThermalThrottler` injects
+seeded random throttle windows during a runtime run: the affected GPU's
+enforced limit drops to a fraction of its configured cap, then recovers.
+Used by the robustness tests to show the runtime keeps its invariants (and
+the dequeue model keeps adapting) under perturbation — the failure-injection
+counterpart of the paper's clean static study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hardware.node import Node
+from repro.runtime.engine import RuntimeSystem
+
+
+@dataclass(frozen=True)
+class ThrottleEvent:
+    gpu_index: int
+    start_s: float
+    end_s: float
+    limit_w: float
+
+
+@dataclass
+class ThermalThrottler:
+    """Random per-GPU throttle windows on the simulation clock."""
+
+    node: Node
+    runtime: RuntimeSystem
+    rng: np.random.Generator
+    check_period_s: float = 0.2
+    probability: float = 0.15      # per GPU per check
+    duration_s: tuple[float, float] = (0.2, 0.8)
+    severity: float = 0.6          # throttled limit = severity * configured cap
+    events: list[ThrottleEvent] = field(default_factory=list)
+    _configured: dict[int, float] = field(default_factory=dict)
+    _active: set = field(default_factory=set)
+
+    def start(self) -> None:
+        self.runtime.sim.schedule(self.check_period_s, self._tick)
+
+    def _tick(self) -> None:
+        sim = self.runtime.sim
+        for gpu in self.node.gpus:
+            if gpu.index in self._active:
+                continue
+            if self.rng.random() < self.probability:
+                configured = gpu.power_limit_w
+                limit = max(gpu.spec.cap_min_w, configured * self.severity)
+                duration = float(self.rng.uniform(*self.duration_s))
+                gpu.set_power_limit(limit)
+                self._configured[gpu.index] = configured
+                self._active.add(gpu.index)
+                self.events.append(
+                    ThrottleEvent(gpu.index, sim.now, sim.now + duration, limit)
+                )
+                sim.schedule(duration, self._recover, gpu.index)
+        if self.runtime.pending_tasks > 0:
+            sim.schedule(self.check_period_s, self._tick)
+
+    def _recover(self, gpu_index: int) -> None:
+        gpu = self.node.gpus[gpu_index]
+        gpu.set_power_limit(self._configured.pop(gpu_index))
+        self._active.discard(gpu_index)
+
+    def restore_all(self) -> None:
+        """Lift any still-active throttles (end-of-run cleanup)."""
+        for gpu_index in list(self._active):
+            self._recover(gpu_index)

@@ -1,0 +1,22 @@
+"""Analytic kernel time/power models.
+
+These stand in for cuBLAS and MKL: given a device's operating point (boost
+frequency under the current cap), they predict kernel duration, DRAM traffic
+and the power-activity factor.  The GEMM model includes wave-quantisation
+utilisation, which is what makes small matrices less energy-efficient in the
+Fig. 1 reproduction, exactly as the paper observes.
+"""
+
+from repro.kernels.gemm import GemmKernel
+from repro.kernels.model import DTYPE_BYTES, dtype_bytes
+from repro.kernels.roofline import roofline_time
+from repro.kernels.tile_kernels import TILE_KINDS, TileOp
+
+__all__ = [
+    "GemmKernel",
+    "DTYPE_BYTES",
+    "dtype_bytes",
+    "roofline_time",
+    "TILE_KINDS",
+    "TileOp",
+]

@@ -1,0 +1,120 @@
+"""cuBLAS-style GEMM model: time, traffic, utilisation, power activity.
+
+Used both for the kernel-level capping study (paper Sec. II, Fig. 1, Table I)
+and — through :mod:`repro.kernels.tile_kernels` — for the per-tile tasks of
+the runtime experiments.
+
+Utilisation combines:
+
+- **wave quantisation**: thread blocks (128x128 output tiles) are scheduled
+  in waves over the SMs; a partially filled last wave wastes throughput;
+- **k-ramp**: short inner dimensions do not hide pipeline and prologue
+  latency (``k / (k + k_half)``).
+
+The power-activity factor follows utilisation, so an under-filled GPU draws
+less than its profile's full-activity power — which is why small matrices in
+Fig. 1 both perform worse *and* fail to turn the saved power into efficiency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.gpu import GPUDevice
+from repro.hardware.specs import GPUSpec
+from repro.kernels.model import ceil_div, dtype_bytes
+from repro.kernels.roofline import roofline_time
+
+#: cuBLAS-like output-block edge used for wave quantisation.
+BLOCK = 128
+
+#: k extent at which the pipeline reaches half its asymptotic throughput.
+K_HALF = 384
+
+#: Fraction of algorithmic (A+B+C) traffic that actually reaches DRAM after
+#: cache blocking, for a single large GEMM call.
+TRAFFIC_FACTOR = 1.5
+
+#: Fraction of peak reached by a perfectly-sized GEMM (tuning headroom).
+CUBLAS_EFFICIENCY = 0.93
+
+
+@dataclass(frozen=True)
+class GemmKernel:
+    """C(m,n) += A(m,k) * B(k,n) in a given precision."""
+
+    m: int
+    n: int
+    k: int
+    precision: str
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.k) <= 0:
+            raise ValueError("GEMM dimensions must be positive")
+        dtype_bytes(self.precision)  # validates precision
+
+    @classmethod
+    def square(cls, n: int, precision: str) -> "GemmKernel":
+        return cls(n, n, n, precision)
+
+    @property
+    def flops(self) -> float:
+        return 2.0 * self.m * self.n * self.k
+
+    @property
+    def traffic_bytes(self) -> float:
+        elems = self.m * self.k + self.k * self.n + self.m * self.n
+        return elems * dtype_bytes(self.precision) * TRAFFIC_FACTOR
+
+    # ----------------------------------------------------------- utilisation
+
+    def occupancy(self, spec: GPUSpec) -> float:
+        """Wave-quantisation x k-ramp occupancy in (0, 1]."""
+        blocks = ceil_div(self.m, BLOCK) * ceil_div(self.n, BLOCK)
+        waves = ceil_div(blocks, spec.n_sm)
+        wave_util = blocks / (waves * spec.n_sm)
+        k_util = self.k / (self.k + K_HALF)
+        return wave_util * k_util
+
+    def utilization(self, spec: GPUSpec) -> float:
+        """Fraction of peak throughput this problem shape can extract."""
+        return CUBLAS_EFFICIENCY * self.occupancy(spec)
+
+    def activity(self, spec: GPUSpec) -> float:
+        """Power-activity factor in [0, 1] (scales the switching power).
+
+        Follows occupancy, not achieved-vs-peak throughput: a fully occupied
+        GPU draws its profile's full-activity power even though cuBLAS leaves
+        a little throughput on the table.
+        """
+        return max(0.05, self.occupancy(spec))
+
+    # ----------------------------------------------------------- time, power
+
+    def time_on_gpu(self, gpu: GPUDevice) -> float:
+        """Duration on a GPU under its *current* power cap (seconds)."""
+        spec = gpu.spec
+        act = self.activity(spec)
+        profile = spec.power_profiles[self.precision]
+        f = profile.freq_at_cap(gpu.power_limit_w, act)
+        gflops = spec.peak_gflops[self.precision] * self.utilization(spec) * profile.perf_scale(f)
+        return roofline_time(
+            self.flops, self.traffic_bytes, gflops, spec.mem_bw_gbs, spec.launch_overhead_s
+        )
+
+    def power_on_gpu(self, gpu: GPUDevice) -> float:
+        """Average draw while running on the GPU under its cap (W)."""
+        act = self.activity(gpu.spec)
+        return gpu.busy_power(self.precision, act)
+
+    def energy_on_gpu(self, gpu: GPUDevice) -> float:
+        """Kernel energy on the GPU (J) — time x busy power."""
+        return self.time_on_gpu(gpu) * self.power_on_gpu(gpu)
+
+    def gflops_on_gpu(self, gpu: GPUDevice) -> float:
+        """Achieved throughput under the current cap (Gflop/s)."""
+        return self.flops / self.time_on_gpu(gpu) / 1e9
+
+    def efficiency_on_gpu(self, gpu: GPUDevice) -> float:
+        """Energy efficiency under the current cap (Gflop/s/W)."""
+        return self.gflops_on_gpu(gpu) / self.power_on_gpu(gpu)

@@ -1,0 +1,21 @@
+"""Shared kernel-model primitives."""
+
+from __future__ import annotations
+
+#: Bytes per element for each supported precision.
+DTYPE_BYTES = {"single": 4, "double": 8}
+
+
+def dtype_bytes(precision: str) -> int:
+    try:
+        return DTYPE_BYTES[precision]
+    except KeyError:
+        raise ValueError(
+            f"unknown precision {precision!r}; expected one of {sorted(DTYPE_BYTES)}"
+        ) from None
+
+
+def ceil_div(a: int, b: int) -> int:
+    if b <= 0:
+        raise ValueError("divisor must be positive")
+    return -(-a // b)

@@ -1,0 +1,24 @@
+"""Roofline time combinator."""
+
+from __future__ import annotations
+
+
+def roofline_time(
+    flops: float,
+    traffic_bytes: float,
+    gflops: float,
+    bw_gbs: float,
+    overhead_s: float = 0.0,
+) -> float:
+    """Kernel duration under the classic roofline: the slower of the compute
+    and memory streams bounds throughput (they overlap on real hardware).
+
+    Parameters are in flops / bytes / Gflop/s / GB/s; result in seconds.
+    """
+    if flops < 0 or traffic_bytes < 0:
+        raise ValueError("negative work")
+    if gflops <= 0 or bw_gbs <= 0:
+        raise ValueError("rates must be positive")
+    t_compute = flops / (gflops * 1e9)
+    t_memory = traffic_bytes / (bw_gbs * 1e9)
+    return max(t_compute, t_memory) + overhead_s

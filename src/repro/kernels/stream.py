@@ -1,0 +1,66 @@
+"""Memory-bound kernel model (STREAM triad).
+
+A counterpoint to GEMM used by the bandwidth-bound capping study: DRAM
+bandwidth depends only weakly on the SM clock, so power caps barely slow a
+memory-bound kernel while still cutting power — capping is almost free
+efficiency.  The model keeps full bandwidth down to ``BW_KNEE`` of the boost
+clock and degrades linearly below it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.gpu import GPUDevice
+from repro.kernels.model import dtype_bytes
+
+#: Normalised frequency below which DRAM bandwidth starts to degrade.
+BW_KNEE = 0.45
+
+#: Power-activity factor of a bandwidth-bound kernel (no FMA pipelines).
+STREAM_ACTIVITY = 0.35
+
+
+@dataclass(frozen=True)
+class StreamKernel:
+    """Triad ``a[i] = b[i] + q * c[i]`` over ``n`` elements."""
+
+    n: int
+    precision: str
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError("vector length must be positive")
+        dtype_bytes(self.precision)
+
+    @property
+    def flops(self) -> float:
+        return 2.0 * self.n
+
+    @property
+    def traffic_bytes(self) -> float:
+        return 3.0 * self.n * dtype_bytes(self.precision)
+
+    def bandwidth_scale(self, f: float) -> float:
+        """Effective DRAM bandwidth fraction at normalised core clock ``f``."""
+        if f >= BW_KNEE:
+            return 1.0
+        return f / BW_KNEE
+
+    def time_on_gpu(self, gpu: GPUDevice) -> float:
+        spec = gpu.spec
+        profile = spec.power_profiles[self.precision]
+        f = profile.freq_at_cap(gpu.power_limit_w, STREAM_ACTIVITY)
+        bw = spec.mem_bw_gbs * 1e9 * self.bandwidth_scale(f)
+        return self.traffic_bytes / bw + spec.launch_overhead_s
+
+    def power_on_gpu(self, gpu: GPUDevice) -> float:
+        return gpu.busy_power(self.precision, STREAM_ACTIVITY)
+
+    def bandwidth_on_gpu(self, gpu: GPUDevice) -> float:
+        """Achieved GB/s under the current cap."""
+        return self.traffic_bytes / self.time_on_gpu(gpu) / 1e9
+
+    def efficiency_on_gpu(self, gpu: GPUDevice) -> float:
+        """GB/s per watt — the natural efficiency metric for STREAM."""
+        return self.bandwidth_on_gpu(gpu) / self.power_on_gpu(gpu)

@@ -1,0 +1,62 @@
+"""Tiled GEMM: ``C += A @ B`` as a task graph.
+
+The DAG contains ``nt**3`` identical compute-bound GEMM tasks; the only
+dependencies are the serial accumulation chains on each C tile along ``k``
+(``nt**2`` independent chains), giving the abundant parallelism the paper
+notes is "representative of numerous other HPC applications".
+"""
+
+from __future__ import annotations
+
+from repro.kernels.tile_kernels import TileOp
+from repro.runtime.data import AccessMode
+from repro.runtime.graph import TaskGraph
+from repro.linalg.tilematrix import TileMatrix
+
+
+def build_gemm(
+    graph: TaskGraph,
+    a: TileMatrix,
+    b: TileMatrix,
+    c: TileMatrix,
+    priority: int = 0,
+) -> TaskGraph:
+    """Append the tasks of ``C += A @ B`` to ``graph``."""
+    if not (a.nt == b.nt == c.nt and a.nb == b.nb == c.nb):
+        raise ValueError("A, B, C must share tile geometry")
+    if not (a.precision == b.precision == c.precision):
+        raise ValueError("A, B, C must share precision")
+    nt = a.nt
+    op = TileOp("gemm", a.nb, a.precision)
+    for i in range(nt):
+        for j in range(nt):
+            for k in range(nt):
+                graph.add_task(
+                    op,
+                    [
+                        (c.handle(i, j), AccessMode.RW),
+                        (a.handle(i, k), AccessMode.R),
+                        (b.handle(k, j), AccessMode.R),
+                    ],
+                    priority=priority,
+                    label=f"gemm[{i},{j},{k}]",
+                    payload={
+                        "kind": "gemm",
+                        "C": (c, i, j),
+                        "A": (a, i, k),
+                        "B": (b, k, j),
+                        "alpha": 1.0,
+                        "transb": False,
+                    },
+                )
+    return graph
+
+
+def gemm_graph(n: int, nb: int, precision: str) -> tuple[TaskGraph, TileMatrix, TileMatrix, TileMatrix]:
+    """Convenience: fresh matrices + graph for ``C += A @ B``."""
+    a = TileMatrix(n, nb, precision, label="A")
+    b = TileMatrix(n, nb, precision, label="B")
+    c = TileMatrix(n, nb, precision, label="C")
+    graph = TaskGraph()
+    build_gemm(graph, a, b, c)
+    return graph, a, b, c

@@ -1,0 +1,88 @@
+"""Tiled QR factorisation (flat-tree tile QR, Chameleon ``GEQRF``).
+
+Classic PLASMA/Chameleon tile QR with a flat reduction tree:
+
+- ``GEQRT(k)``  — QR of the diagonal tile;
+- ``ORMQR(k,j)`` — apply Q_k^T to the tiles right of the diagonal;
+- ``TSQRT(i,k)`` — triangle-on-top-of-square QR of [R_kk; A_ik];
+- ``TSMQR(i,j,k)`` — apply that reflector pair to [A_kj; A_ij].
+
+Task count for ``nt x nt`` tiles: ``nt(nt+1)(2nt+1)/6`` (same closed form as
+LU — one panel op, two O(m) sweeps, one O(m^2) update per step).
+
+The numeric mode stores the per-task Q factors in a side store carried by the
+payloads, so the verifier can check ``R^T R == A^T A`` without materialising Q.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.tile_kernels import TileOp
+from repro.runtime.data import AccessMode
+from repro.runtime.graph import TaskGraph
+from repro.linalg.tilematrix import TileMatrix
+
+
+def build_geqrf(graph: TaskGraph, a: TileMatrix) -> TaskGraph:
+    """Append the tasks of a tile QR factorisation of ``a``."""
+    if a.symmetric:
+        raise ValueError("GEQRF operates on a general (dense) TileMatrix")
+    nt = a.nt
+    op_geqrt = TileOp("geqrt", a.nb, a.precision)
+    op_ormqr = TileOp("ormqr", a.nb, a.precision)
+    op_tsqrt = TileOp("tsqrt", a.nb, a.precision)
+    op_tsmqr = TileOp("tsmqr", a.nb, a.precision)
+    qstore: dict[str, object] = {}  # shared Q-factor side storage (numeric mode)
+    for k in range(nt):
+        graph.add_task(
+            op_geqrt,
+            [(a.handle(k, k), AccessMode.RW)],
+            label=f"geqrt[{k}]",
+            payload={"kind": "geqrt", "A": (a, k, k), "qstore": qstore, "key": f"q{k}"},
+        )
+        for j in range(k + 1, nt):
+            graph.add_task(
+                op_ormqr,
+                [(a.handle(k, k), AccessMode.R), (a.handle(k, j), AccessMode.RW)],
+                label=f"ormqr[{k},{j}]",
+                payload={
+                    "kind": "ormqr", "A": (a, k, j),
+                    "qstore": qstore, "key": f"q{k}",
+                },
+            )
+        for i in range(k + 1, nt):
+            graph.add_task(
+                op_tsqrt,
+                [(a.handle(k, k), AccessMode.RW), (a.handle(i, k), AccessMode.RW)],
+                label=f"tsqrt[{i},{k}]",
+                payload={
+                    "kind": "tsqrt", "R": (a, k, k), "A": (a, i, k),
+                    "qstore": qstore, "key": f"q{k}.{i}",
+                },
+            )
+            for j in range(k + 1, nt):
+                graph.add_task(
+                    op_tsmqr,
+                    [
+                        (a.handle(i, k), AccessMode.R),
+                        (a.handle(k, j), AccessMode.RW),
+                        (a.handle(i, j), AccessMode.RW),
+                    ],
+                    label=f"tsmqr[{i},{j},{k}]",
+                    payload={
+                        "kind": "tsmqr", "Top": (a, k, j), "Bot": (a, i, j),
+                        "qstore": qstore, "key": f"q{k}.{i}",
+                    },
+                )
+    return graph
+
+
+def geqrf_graph(n: int, nb: int, precision: str) -> tuple[TaskGraph, TileMatrix]:
+    a = TileMatrix(n, nb, precision, label="A")
+    graph = TaskGraph()
+    build_geqrf(graph, a)
+    return graph, a
+
+
+def geqrf_task_count(nt: int) -> int:
+    """Closed form: sum over panels of ``1 + 2m + m**2``."""
+    return nt * (nt + 1) * (2 * nt + 1) // 6

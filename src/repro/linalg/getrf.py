@@ -1,0 +1,82 @@
+"""Tiled LU factorisation without pivoting (Chameleon ``GETRF_NOPIV``).
+
+Right-looking tile LU: at step ``k`` the diagonal tile is factorised in
+place (``A[k][k] = L_kk U_kk``, unit lower), panel/row tiles are updated with
+triangular solves, and the trailing submatrix receives GEMM updates.  For an
+``nt x nt`` tile matrix the DAG has ``nt(nt+1)(2nt+1)/6`` tasks.
+
+Pivoting is omitted, as in Chameleon's ``dgetrf_nopiv``; the numeric
+verifier therefore uses diagonally dominant matrices.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.tile_kernels import TileOp
+from repro.runtime.data import AccessMode
+from repro.runtime.graph import TaskGraph
+from repro.linalg.tilematrix import TileMatrix
+
+
+def build_getrf(graph: TaskGraph, a: TileMatrix) -> TaskGraph:
+    """Append the tasks of an unpivoted LU factorisation of ``a``."""
+    if a.symmetric:
+        raise ValueError("GETRF operates on a general (dense) TileMatrix")
+    nt = a.nt
+    op_getrf = TileOp("getrf", a.nb, a.precision)
+    op_trsm = TileOp("trsm", a.nb, a.precision)
+    op_gemm = TileOp("gemm", a.nb, a.precision)
+    for k in range(nt):
+        graph.add_task(
+            op_getrf,
+            [(a.handle(k, k), AccessMode.RW)],
+            label=f"getrf[{k}]",
+            payload={"kind": "getrf", "A": (a, k, k)},
+        )
+        for j in range(k + 1, nt):
+            # U row: A[k][j] <- L_kk^{-1} A[k][j]
+            graph.add_task(
+                op_trsm,
+                [(a.handle(k, k), AccessMode.R), (a.handle(k, j), AccessMode.RW)],
+                label=f"trsm-l[{k},{j}]",
+                payload={"kind": "trsm_lu_left", "LU": (a, k, k), "A": (a, k, j)},
+            )
+        for i in range(k + 1, nt):
+            # L column: A[i][k] <- A[i][k] U_kk^{-1}
+            graph.add_task(
+                op_trsm,
+                [(a.handle(k, k), AccessMode.R), (a.handle(i, k), AccessMode.RW)],
+                label=f"trsm-u[{i},{k}]",
+                payload={"kind": "trsm_lu_right", "LU": (a, k, k), "A": (a, i, k)},
+            )
+        for i in range(k + 1, nt):
+            for j in range(k + 1, nt):
+                graph.add_task(
+                    op_gemm,
+                    [
+                        (a.handle(i, j), AccessMode.RW),
+                        (a.handle(i, k), AccessMode.R),
+                        (a.handle(k, j), AccessMode.R),
+                    ],
+                    label=f"gemm[{i},{j},{k}]",
+                    payload={
+                        "kind": "gemm",
+                        "C": (a, i, j),
+                        "A": (a, i, k),
+                        "B": (a, k, j),
+                        "alpha": -1.0,
+                        "transb": False,
+                    },
+                )
+    return graph
+
+
+def getrf_graph(n: int, nb: int, precision: str) -> tuple[TaskGraph, TileMatrix]:
+    a = TileMatrix(n, nb, precision, label="A")
+    graph = TaskGraph()
+    build_getrf(graph, a)
+    return graph, a
+
+
+def getrf_task_count(nt: int) -> int:
+    """Closed form: sum over panels of ``1 + 2m + m**2`` = nt(nt+1)(2nt+1)/6."""
+    return nt * (nt + 1) * (2 * nt + 1) // 6

@@ -1,0 +1,30 @@
+"""Task priorities.
+
+Chameleon ships expert-tuned priorities per routine; the runtime-agnostic
+equivalent implemented here assigns each task the length of its longest
+downstream path ("critical-path depth"), which reproduces the essential
+ordering: at step ``k`` of Cholesky, ``POTRF(k) > TRSM(*,k) > SYRK/GEMM(*,k)``,
+and earlier panels dominate later ones.  ``dmdas`` sorts its per-worker
+queues by this number.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.graph import TaskGraph
+
+SCHEMES = ("none", "cp")
+
+
+def assign_priorities(graph: TaskGraph, scheme: str = "cp") -> None:
+    """Assign priorities in place.
+
+    - ``none``: all zero (FIFO behaviour even under dmdas);
+    - ``cp``: critical-path depth (default; Chameleon-like).
+    """
+    if scheme == "none":
+        for t in graph.tasks:
+            t.priority = 0
+    elif scheme == "cp":
+        graph.depth_priorities()
+    else:
+        raise ValueError(f"unknown priority scheme {scheme!r}; have {SCHEMES}")

@@ -1,0 +1,52 @@
+"""pynvml-compatible facade over simulated GPUs.
+
+The paper's measurement code uses NVML to apply caps and read energy; this
+module exposes the same function names, call shapes and units (milliwatts and
+millijoules) over :class:`repro.hardware.gpu.GPUDevice` instances, so the
+measurement protocol in :mod:`repro.energy` is written exactly as it would be
+against real hardware.
+
+Usage::
+
+    from repro import nvml
+    nvml.nvmlInit(node)
+    h = nvml.nvmlDeviceGetHandleByIndex(0)
+    nvml.nvmlDeviceSetPowerManagementLimit(h, 216_000)   # mW
+    e0 = nvml.nvmlDeviceGetTotalEnergyConsumption(h)     # mJ
+"""
+
+from repro.nvml.api import (
+    NVML_ERROR_INVALID_ARGUMENT,
+    NVML_ERROR_NOT_SUPPORTED,
+    NVML_ERROR_UNINITIALIZED,
+    NVMLError,
+    nvmlDeviceGetCount,
+    nvmlDeviceGetHandleByIndex,
+    nvmlDeviceGetName,
+    nvmlDeviceGetPowerManagementDefaultLimit,
+    nvmlDeviceGetPowerManagementLimit,
+    nvmlDeviceGetPowerManagementLimitConstraints,
+    nvmlDeviceGetPowerUsage,
+    nvmlDeviceGetTotalEnergyConsumption,
+    nvmlDeviceSetPowerManagementLimit,
+    nvmlInit,
+    nvmlShutdown,
+)
+
+__all__ = [
+    "NVML_ERROR_INVALID_ARGUMENT",
+    "NVML_ERROR_NOT_SUPPORTED",
+    "NVML_ERROR_UNINITIALIZED",
+    "NVMLError",
+    "nvmlDeviceGetCount",
+    "nvmlDeviceGetHandleByIndex",
+    "nvmlDeviceGetName",
+    "nvmlDeviceGetPowerManagementDefaultLimit",
+    "nvmlDeviceGetPowerManagementLimit",
+    "nvmlDeviceGetPowerManagementLimitConstraints",
+    "nvmlDeviceGetPowerUsage",
+    "nvmlDeviceGetTotalEnergyConsumption",
+    "nvmlDeviceSetPowerManagementLimit",
+    "nvmlInit",
+    "nvmlShutdown",
+]

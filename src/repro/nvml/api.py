@@ -1,0 +1,98 @@
+"""The pynvml-style API surface (module-level functions, integer units).
+
+NVML talks in milliwatts (power, limits) and millijoules (energy).  Handles
+are opaque; here they wrap the simulated device.  The module holds one bound
+node at a time, matching pynvml's process-global initialisation model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hardware.gpu import GPUDevice, PowerLimitError
+from repro.hardware.node import Node
+
+NVML_ERROR_UNINITIALIZED = 1
+NVML_ERROR_INVALID_ARGUMENT = 2
+NVML_ERROR_NOT_SUPPORTED = 3
+
+
+class NVMLError(RuntimeError):
+    """NVML-style error carrying a numeric code."""
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(message)
+        self.value = code
+
+
+@dataclass(frozen=True)
+class _Handle:
+    device: GPUDevice
+
+
+_node: Optional[Node] = None
+
+
+def nvmlInit(node: Node) -> None:
+    """Bind NVML to a simulated node (the 'driver attach')."""
+    global _node
+    _node = node
+
+
+def nvmlShutdown() -> None:
+    global _node
+    _node = None
+
+
+def _require_node() -> Node:
+    if _node is None:
+        raise NVMLError(NVML_ERROR_UNINITIALIZED, "call nvmlInit(node) first")
+    return _node
+
+
+def nvmlDeviceGetCount() -> int:
+    return len(_require_node().gpus)
+
+
+def nvmlDeviceGetHandleByIndex(index: int) -> _Handle:
+    node = _require_node()
+    if not 0 <= index < len(node.gpus):
+        raise NVMLError(NVML_ERROR_INVALID_ARGUMENT, f"no GPU at index {index}")
+    return _Handle(node.gpus[index])
+
+
+def nvmlDeviceGetName(handle: _Handle) -> str:
+    return handle.device.spec.model
+
+
+def nvmlDeviceGetPowerManagementLimitConstraints(handle: _Handle) -> tuple[int, int]:
+    """(min, max) enforceable power limit in milliwatts."""
+    spec = handle.device.spec
+    return int(spec.cap_min_w * 1000), int(spec.cap_max_w * 1000)
+
+
+def nvmlDeviceGetPowerManagementDefaultLimit(handle: _Handle) -> int:
+    """Factory default limit (TDP) in milliwatts."""
+    return int(handle.device.spec.tdp_w * 1000)
+
+
+def nvmlDeviceGetPowerManagementLimit(handle: _Handle) -> int:
+    return int(round(handle.device.power_limit_w * 1000))
+
+
+def nvmlDeviceSetPowerManagementLimit(handle: _Handle, limit_mw: int) -> None:
+    try:
+        handle.device.set_power_limit(limit_mw / 1000.0)
+    except PowerLimitError as exc:
+        raise NVMLError(NVML_ERROR_INVALID_ARGUMENT, str(exc)) from exc
+
+
+def nvmlDeviceGetPowerUsage(handle: _Handle) -> int:
+    """Instantaneous board draw in milliwatts."""
+    return int(round(handle.device.power_w * 1000))
+
+
+def nvmlDeviceGetTotalEnergyConsumption(handle: _Handle) -> int:
+    """Cumulative board energy in millijoules since device init."""
+    return int(round(handle.device.energy_j() * 1000))

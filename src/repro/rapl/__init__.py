@@ -1,0 +1,23 @@
+"""PAPI/RAPL-style CPU energy counters and package power capping.
+
+The paper measures CPU energy via PAPI's RAPL component: read the package
+energy counter at start and end of the run, subtract.  :class:`PAPIEnergyCounter`
+reproduces that protocol over simulated :class:`~repro.hardware.cpu.CPUPackage`
+counters (microjoule granularity like the real MSRs).  :func:`set_package_limit`
+is the ``powercap``/RAPL constraint write, which fails on the AMD platforms
+exactly as it did for the authors.
+"""
+
+from repro.rapl.api import (
+    PAPIEnergyCounter,
+    RAPLError,
+    package_energy_uj,
+    set_package_limit,
+)
+
+__all__ = [
+    "PAPIEnergyCounter",
+    "RAPLError",
+    "package_energy_uj",
+    "set_package_limit",
+]

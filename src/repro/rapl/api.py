@@ -1,0 +1,63 @@
+"""RAPL counter reads and package cap writes over simulated CPU packages."""
+
+from __future__ import annotations
+
+from repro.hardware.gpu import PowerLimitError
+from repro.hardware.node import Node
+
+
+class RAPLError(RuntimeError):
+    """Raised when a RAPL operation is unsupported or out of range."""
+
+
+def package_energy_uj(node: Node, package: int) -> int:
+    """Cumulative package energy counter in microjoules (MSR granularity)."""
+    try:
+        cpu = node.cpus[package]
+    except IndexError:
+        raise RAPLError(f"no CPU package {package}") from None
+    return int(round(cpu.energy_j() * 1e6))
+
+
+def set_package_limit(node: Node, package: int, watts: float) -> None:
+    """Write the package power constraint.
+
+    Raises :class:`RAPLError` on AMD packages (``supports_capping=False``),
+    reproducing the paper's inability to cap the EPYC platforms.
+    """
+    try:
+        cpu = node.cpus[package]
+    except IndexError:
+        raise RAPLError(f"no CPU package {package}") from None
+    try:
+        cpu.set_power_limit(watts)
+    except PowerLimitError as exc:
+        raise RAPLError(str(exc)) from exc
+
+
+class PAPIEnergyCounter:
+    """Start/stop energy measurement across all packages (PAPI protocol).
+
+    >>> counter = PAPIEnergyCounter(node)
+    >>> counter.start()
+    >>> ...  # run the operation
+    >>> joules_per_package = counter.stop()
+    """
+
+    def __init__(self, node: Node) -> None:
+        self._node = node
+        self._start_uj: list[int] | None = None
+
+    def start(self) -> None:
+        self._start_uj = [
+            package_energy_uj(self._node, i) for i in range(len(self._node.cpus))
+        ]
+
+    def stop(self) -> list[float]:
+        """Per-package energy in Joules since :meth:`start`."""
+        if self._start_uj is None:
+            raise RAPLError("counter not started")
+        end = [package_energy_uj(self._node, i) for i in range(len(self._node.cpus))]
+        out = [(e - s) / 1e6 for s, e in zip(self._start_uj, end)]
+        self._start_uj = None
+        return out

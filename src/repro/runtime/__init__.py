@@ -1,0 +1,44 @@
+"""StarPU-like task-based runtime system over the discrete-event simulator.
+
+The runtime reproduces the StarPU machinery the paper relies on:
+
+- **implicit data dependencies** (:mod:`repro.runtime.graph`): tasks submitted
+  sequentially, edges inferred from RAW/WAR/WAW hazards on data handles;
+- **distributed memory coherence** (:mod:`repro.runtime.data`): an MSI
+  protocol across host and per-GPU memory nodes with LRU eviction and
+  PCIe transfer accounting;
+- **calibrated performance models** (:mod:`repro.runtime.perfmodel`): the
+  history/regression models that implicitly inform the scheduler of each
+  GPU's capped speed — the core mechanism of the paper's Sec. III-B;
+- **schedulers** (:mod:`repro.runtime.schedulers`): ``eager``, ``random``,
+  ``ws``, ``dm``, ``dmda``, ``dmdas`` (and the energy-aware ``dmdae``
+  extension);
+- **the execution engine** (:mod:`repro.runtime.engine`): event-driven
+  workers (CPU cores and GPU streams with dedicated driver cores) with full
+  power/energy accounting on the simulated devices.
+"""
+
+from repro.runtime.data import AccessMode, CoherenceError, DataHandle, DataManager
+from repro.runtime.engine import RunResult, RuntimeSystem
+from repro.runtime.graph import Task, TaskGraph, TaskState
+from repro.runtime.perfmodel import PerfModelSet
+from repro.runtime.schedulers import SCHEDULERS, make_scheduler
+from repro.runtime.worker import CPUWorker, GPUWorker, build_workers
+
+__all__ = [
+    "AccessMode",
+    "CoherenceError",
+    "DataHandle",
+    "DataManager",
+    "RunResult",
+    "RuntimeSystem",
+    "Task",
+    "TaskGraph",
+    "TaskState",
+    "PerfModelSet",
+    "SCHEDULERS",
+    "make_scheduler",
+    "CPUWorker",
+    "GPUWorker",
+    "build_workers",
+]

@@ -1,0 +1,309 @@
+"""The runtime execution engine.
+
+Event-driven execution of a :class:`~repro.runtime.graph.TaskGraph` on a
+simulated :class:`~repro.hardware.node.Node`:
+
+1. performance models are calibrated *under the currently applied power
+   caps* (StarPU recalibrates after every cap change — the paper's key
+   mechanism);
+2. ready tasks are pushed to the scheduler; idle workers pop;
+3. a GPU task first stages its data (MSI fetches over the PCIe links), with
+   the driver core busy-polling, then runs the kernel at the cap-limited
+   boost clock; a CPU task runs on one core at the package's capped
+   frequency;
+4. completions release data (write invalidations), feed the history model,
+   decrement successors and wake idle workers.
+
+Energy is integrated continuously by the devices themselves, so a
+:class:`RunResult` carries the exact per-device Joules of the run, including
+idle draw — the same quantity the paper's NVML/PAPI protocol measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hardware.node import Node
+from repro.runtime.data import DataManager
+from repro.runtime.graph import Task, TaskGraph, TaskState
+from repro.runtime.perfmodel import HistoryModel, PerfModelSet, model_key
+from repro.runtime.schedulers import make_scheduler
+from repro.runtime.worker import (
+    GPUWorker,
+    WorkerType,
+    build_workers,
+    ground_truth_duration,
+)
+from repro.sim import RNGPool, Simulator, Tracer
+
+
+class RuntimeError_(RuntimeError):
+    """Engine-level failure (deadlock, misuse)."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of one graph execution."""
+
+    makespan_s: float
+    energies_j: dict[str, float]
+    total_flops: float
+    n_tasks: int
+    scheduler: str
+    worker_tasks: dict[str, int] = field(default_factory=dict)
+    gpu_caps_w: list[float] = field(default_factory=list)
+    cpu_caps_w: list[float] = field(default_factory=list)
+    bytes_transferred: int = 0
+    n_evictions: int = 0
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(self.energies_j.values())
+
+    @property
+    def gflops(self) -> float:
+        """Achieved performance in Gflop/s."""
+        return self.total_flops / self.makespan_s / 1e9
+
+    @property
+    def gflops_per_watt(self) -> float:
+        """Energy efficiency (Gflop/s/W == Gflop/J)."""
+        return self.total_flops / self.total_energy_j / 1e9
+
+    def gpu_task_fraction(self) -> float:
+        """Share of tasks executed on GPU workers."""
+        gpu = sum(n for w, n in self.worker_tasks.items() if w.startswith("gpu"))
+        return gpu / max(1, self.n_tasks)
+
+    def summary(self) -> str:
+        return (
+            f"{self.scheduler}: {self.n_tasks} tasks in {self.makespan_s:.3f}s, "
+            f"{self.gflops:.1f} Gflop/s, {self.total_energy_j:.1f} J, "
+            f"{self.gflops_per_watt:.2f} Gflop/s/W"
+        )
+
+
+class RuntimeSystem:
+    """One runtime instance bound to a node (a StarPU process)."""
+
+    def __init__(
+        self,
+        node: Node,
+        scheduler: str = "dmdas",
+        seed: int = 0,
+        tracer: Optional[Tracer] = None,
+        calibration_samples: int = 4,
+        exec_noise: float = 0.015,
+        calib_noise: float = 0.03,
+        prefetch_depth: int = 3,
+        ewma_alpha: Optional[float] = None,
+    ) -> None:
+        if not isinstance(node.clock, Simulator):
+            raise RuntimeError_("node must be built on a Simulator clock")
+        self.node = node
+        self.sim: Simulator = node.clock
+        self.scheduler_name = scheduler
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.workers = build_workers(node)
+        self.data = DataManager(node)
+        self.perf = PerfModelSet(history=HistoryModel(ewma_alpha=ewma_alpha))
+        self.rng = RNGPool(seed)
+        self.calibration_samples = calibration_samples
+        self.exec_noise = exec_noise
+        self.calib_noise = calib_noise
+        self.prefetch_depth = prefetch_depth
+        self._scheduler = None
+        self._remaining = 0
+
+    # ------------------------------------------------------------ calibration
+
+    def calibrate(self, graph: TaskGraph) -> None:
+        """Seed the performance models with noisy samples of every distinct
+        tile kernel on every architecture — *under the current caps*.
+
+        Calibration runs happen offline in StarPU (dedicated runs after each
+        power-cap change); they consume no simulated time here.
+        """
+        rng = self.rng.stream("calibration")
+        seen_arch: dict[str, WorkerType] = {}
+        for w in self.workers:
+            seen_arch.setdefault(w.arch, w)
+        distinct = {model_key(t.op): t.op for t in graph.tasks}
+        for op in distinct.values():
+            for arch, w in seen_arch.items():
+                if not w.can_run(op):
+                    continue
+                truth = ground_truth_duration(w, op)
+                for _ in range(self.calibration_samples):
+                    noisy = truth * float(rng.lognormal(0.0, self.calib_noise))
+                    self.perf.record(op, arch, noisy)
+        self.perf.enable_regression()
+
+    # -------------------------------------------------------------- execution
+
+    def run(
+        self,
+        graph: TaskGraph,
+        calibrate: bool = True,
+        reset_energy: bool = True,
+        flush_results: bool = True,
+        update_models: bool = True,
+    ) -> RunResult:
+        """Execute the graph to completion and report time/energy metrics.
+
+        ``calibrate=False`` keeps whatever performance models are loaded —
+        the stale-model ablation uses this to show what happens when the
+        scheduler is *not* informed of a cap change.  ``update_models=False``
+        additionally freezes the history model during the run (StarPU keeps
+        refining it online; the ablation isolates the calibration signal).
+
+        ``flush_results`` writes dirty tiles back to the host after the last
+        task, as Chameleon does when handing the matrix back to the user.
+        """
+        graph.validate()
+        if self._remaining:
+            raise RuntimeError_("a run is already in progress")
+        if calibrate:
+            self.perf.clear()
+            self.calibrate(graph)
+        if reset_energy:
+            self.node.reset_energy()
+        t0 = self.sim.now
+        self._scheduler = make_scheduler(
+            self.scheduler_name, self.workers, self.perf, self.data,
+            self.rng.stream("scheduler"),
+        )
+        self._exec_rng = self.rng.stream("exec")
+        self._update_models = update_models
+        self._remaining = len(graph.tasks)
+        for w in self.workers:
+            w.busy = False
+        self._set_spinning(True)
+        for task in graph.roots():
+            task.state = TaskState.READY
+            self._scheduler.push_ready(task, self.sim.now)
+        self._dispatch_all()
+        self.sim.run()
+        if self._remaining != 0:  # pragma: no cover - defensive
+            raise RuntimeError_(
+                f"deadlock: {self._remaining} tasks never ran "
+                f"(scheduler pending={self._scheduler.has_pending()})"
+            )
+        if flush_results:
+            self.data.flush_to_host(graph.handles)
+            # Account the tail transfers in the makespan.
+            tail = max(
+                (link.busy_until("d2h") for link in self.node.links),
+                default=self.sim.now,
+            )
+            if tail > self.sim.now:
+                self.sim.schedule_at(tail, lambda: None)
+                self.sim.run()
+        self._set_spinning(False)
+        makespan = self.sim.now - t0
+        result = RunResult(
+            makespan_s=makespan,
+            energies_j=self.node.device_energies_j(),
+            total_flops=graph.total_flops(),
+            n_tasks=len(graph.tasks),
+            scheduler=self.scheduler_name,
+            worker_tasks={w.name: w.n_tasks for w in self.workers},
+            gpu_caps_w=self.node.gpu_caps(),
+            cpu_caps_w=[c.power_limit_w for c in self.node.cpus],
+            bytes_transferred=self.data.bytes_transferred,
+            n_evictions=sum(m.n_evictions for m in self.data.managers.values()),
+        )
+        self._scheduler = None
+        return result
+
+    @property
+    def pending_tasks(self) -> int:
+        """Tasks of the in-progress run not yet completed (0 when idle)."""
+        return self._remaining
+
+    # -------------------------------------------------------------- internals
+
+    def _set_spinning(self, active: bool) -> None:
+        """Pin (or release) one busy-wait thread per worker core.
+
+        StarPU worker threads poll actively for the whole application run;
+        this is what makes the CPU packages draw a large constant share of
+        node power (paper Fig. 5).
+        """
+        counts = {id(cpu): 0 for cpu in self.node.cpus}
+        if active:
+            for w in self.workers:
+                pkg = w.driver_package if isinstance(w, GPUWorker) else w.package
+                counts[id(pkg)] += 1
+        for cpu in self.node.cpus:
+            cpu.set_spinning(counts[id(cpu)])
+
+    def _dispatch_all(self) -> None:
+        for w in self.workers:
+            if not w.busy:
+                self._try_start(w)
+
+    def _try_start(self, worker: WorkerType) -> None:
+        task = self._scheduler.pop(worker, self.sim.now)
+        if task is None:
+            return
+        if not worker.can_run(task.op):
+            raise RuntimeError_(
+                f"scheduler gave {task.op.kind!r} to {worker.name}, which has "
+                "no implementation for it"
+            )
+        worker.busy = True
+        task.state = TaskState.RUNNING
+        task.worker_name = worker.name
+        self._scheduler.task_started(task, worker, self.sim.now)
+        target = worker.mem_node
+        ready = self.data.acquire(task.accesses, target, self.sim.now, task.label)
+        if isinstance(worker, GPUWorker):
+            # The driver core busy-waits through staging and execution.
+            worker.driver_package.begin_core()
+        self.sim.schedule_at(max(self.sim.now, ready), self._start_exec, task, worker)
+
+    def _start_exec(self, task: Task, worker: WorkerType) -> None:
+        now = self.sim.now
+        task.start_time = now
+        noise = float(self._exec_rng.lognormal(0.0, self.exec_noise))
+        op = task.op
+        if isinstance(worker, GPUWorker):
+            worker.gpu.begin_kernel(op.precision, op.activity(worker.gpu.spec), task.label)
+            duration = op.time_on_gpu(worker.gpu) * noise
+        else:
+            worker.package.begin_core()
+            duration = op.time_on_cpu_core(worker.package) * noise
+        self.tracer.interval(
+            worker.name, "task", now, now + duration, task.label, task_kind=op.kind
+        )
+        self.sim.schedule(duration, self._finish, task, worker, duration)
+        # Overlap upcoming queued tasks' transfers with this execution.
+        for nxt in self._scheduler.peek_many(worker, self.prefetch_depth):
+            self.data.prefetch(nxt.accesses, worker.mem_node, nxt.label)
+
+    def _finish(self, task: Task, worker: WorkerType, duration: float) -> None:
+        now = self.sim.now
+        if isinstance(worker, GPUWorker):
+            worker.gpu.end_kernel()
+            worker.driver_package.end_core()
+        else:
+            worker.package.end_core()
+        self.data.release(task.accesses, worker.mem_node)
+        task.state = TaskState.DONE
+        task.end_time = now
+        worker.busy = False
+        worker.n_tasks += 1
+        worker.busy_time += duration
+        worker.flops_done += task.op.flops
+        if self._update_models:
+            self.perf.record(task.op, worker.arch, duration)
+        self._scheduler.task_finished(task, worker, now)
+        self._remaining -= 1
+        for succ in task.successors:
+            succ.deps_remaining -= 1
+            if succ.deps_remaining == 0 and succ.state is TaskState.CREATED:
+                succ.state = TaskState.READY
+                self._scheduler.push_ready(succ, now)
+        self._dispatch_all()

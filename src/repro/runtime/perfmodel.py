@@ -1,0 +1,159 @@
+"""Performance models: history-based with a regression fallback.
+
+StarPU estimates per-(codelet, architecture) execution times from calibration
+runs; the models are recalibrated after every power-cap change, which is the
+mechanism that *implicitly informs the scheduler* of each GPU's capped speed
+(paper Sec. III-B).  We reproduce the protocol: before an experiment run, the
+engine draws a handful of noisy samples of every distinct tile kernel on
+every architecture — under the caps currently applied — and seeds the history
+model with them.
+
+The regression model fits ``log t = log a + b log nb`` per (kind, precision,
+arch) and answers for tile sizes never calibrated, like StarPU's
+``NL``-regression models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.kernels.tile_kernels import TileOp
+
+#: Key identifying a codelet instance for modelling purposes.
+ModelKey = tuple[str, int, str]  # (kind, nb, precision)
+
+
+def model_key(op: TileOp) -> ModelKey:
+    return (op.kind, op.nb, op.precision)
+
+
+@dataclass
+class _Stats:
+    n: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+
+    def add(self, x: float) -> None:
+        self.n += 1
+        delta = x - self.mean
+        self.mean += delta / self.n
+        self.m2 += delta * (x - self.mean)
+
+    @property
+    def variance(self) -> float:
+        return self.m2 / (self.n - 1) if self.n > 1 else 0.0
+
+
+class HistoryModel:
+    """Per-(key, arch) running mean of observed durations.
+
+    With ``ewma_alpha`` set, estimates use an exponentially weighted moving
+    average instead of the global mean — the right choice under *dynamic*
+    power capping, where a device's speed changes mid-run and old samples
+    mislead (cf. the paper's future work on dynamic capping).
+    """
+
+    def __init__(self, ewma_alpha: Optional[float] = None) -> None:
+        if ewma_alpha is not None and not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        self.ewma_alpha = ewma_alpha
+        self._stats: dict[tuple[ModelKey, str], _Stats] = {}
+        self._ewma: dict[tuple[ModelKey, str], float] = {}
+
+    def record(self, key: ModelKey, arch: str, duration: float) -> None:
+        if duration <= 0:
+            raise ValueError("durations must be positive")
+        self._stats.setdefault((key, arch), _Stats()).add(duration)
+        if self.ewma_alpha is not None:
+            prev = self._ewma.get((key, arch))
+            self._ewma[(key, arch)] = (
+                duration if prev is None
+                else (1 - self.ewma_alpha) * prev + self.ewma_alpha * duration
+            )
+
+    def estimate(self, key: ModelKey, arch: str) -> Optional[float]:
+        if self.ewma_alpha is not None:
+            est = self._ewma.get((key, arch))
+            if est is not None:
+                return est
+        stats = self._stats.get((key, arch))
+        return stats.mean if stats else None
+
+    def nsamples(self, key: ModelKey, arch: str) -> int:
+        stats = self._stats.get((key, arch))
+        return stats.n if stats else 0
+
+    def entries(self):
+        return self._stats.items()
+
+    def clear(self) -> None:
+        self._stats.clear()
+        self._ewma.clear()
+
+
+class RegressionModel:
+    """``t = a * nb**b`` least-squares fit per (kind, precision, arch)."""
+
+    def __init__(self, history: HistoryModel) -> None:
+        self._history = history
+        self._fits: dict[tuple[str, str, str], tuple[float, float]] = {}
+
+    def refit(self) -> None:
+        groups: dict[tuple[str, str, str], list[tuple[float, float]]] = {}
+        for (key, arch), stats in self._history.entries():
+            kind, nb, precision = key
+            groups.setdefault((kind, precision, arch), []).append((nb, stats.mean))
+        self._fits.clear()
+        for gkey, pts in groups.items():
+            if len({nb for nb, _ in pts}) < 2:
+                continue
+            x = np.log([nb for nb, _ in pts])
+            y = np.log([t for _, t in pts])
+            b, log_a = np.polyfit(x, y, 1)
+            self._fits[gkey] = (math.exp(log_a), float(b))
+
+    def estimate(self, key: ModelKey, arch: str) -> Optional[float]:
+        kind, nb, precision = key
+        fit = self._fits.get((kind, precision, arch))
+        if fit is None:
+            return None
+        a, b = fit
+        return a * nb**b
+
+
+@dataclass
+class PerfModelSet:
+    """History model + regression fallback + a pessimistic default."""
+
+    history: HistoryModel = field(default_factory=HistoryModel)
+    default_estimate_s: float = 1e-3
+    _regression: Optional[RegressionModel] = None
+
+    def record(self, op: TileOp, arch: str, duration: float) -> None:
+        self.history.record(model_key(op), arch, duration)
+
+    def estimate(self, op: TileOp, arch: str) -> float:
+        key = model_key(op)
+        est = self.history.estimate(key, arch)
+        if est is not None:
+            return est
+        if self._regression is not None:
+            est = self._regression.estimate(key, arch)
+            if est is not None:
+                return est
+        return self.default_estimate_s
+
+    def is_calibrated(self, op: TileOp, arch: str) -> bool:
+        return self.history.nsamples(model_key(op), arch) > 0
+
+    def enable_regression(self) -> None:
+        self._regression = RegressionModel(self.history)
+        self._regression.refit()
+
+    def clear(self) -> None:
+        self.history.clear()
+        self._regression = None

@@ -1,0 +1,59 @@
+"""StarPU scheduling policies.
+
+========  ==========================================================
+name      policy
+========  ==========================================================
+eager     central FIFO, first-come-first-served (greedy)
+random    uniform random per-worker assignment at submission
+ws        per-worker deques with work stealing
+dm        dequeue model: HEFT-like expected-completion-time placement
+dmda      dm + data-transfer penalty (data aware)
+dmdar     dmda + ready-data pop order (prefers locally-resident inputs)
+dmdas     dmda + priority-sorted per-worker queues (the paper's choice)
+dmdae     EXTENSION: dmda + expected-energy term (paper future work)
+========  ==========================================================
+"""
+
+from repro.runtime.schedulers.base import Scheduler
+from repro.runtime.schedulers.dm import DMScheduler
+from repro.runtime.schedulers.dmda import DMDAScheduler
+from repro.runtime.schedulers.dmdae import DMDAEScheduler
+from repro.runtime.schedulers.dmdar import DMDARScheduler
+from repro.runtime.schedulers.dmdas import DMDASScheduler
+from repro.runtime.schedulers.eager import EagerScheduler
+from repro.runtime.schedulers.random_sched import RandomScheduler
+from repro.runtime.schedulers.ws import WorkStealingScheduler
+
+SCHEDULERS = {
+    "eager": EagerScheduler,
+    "random": RandomScheduler,
+    "ws": WorkStealingScheduler,
+    "dm": DMScheduler,
+    "dmda": DMDAScheduler,
+    "dmdar": DMDARScheduler,
+    "dmdas": DMDASScheduler,
+    "dmdae": DMDAEScheduler,
+}
+
+
+def make_scheduler(name: str, workers, perf, data, rng) -> Scheduler:
+    """Instantiate a scheduling policy by StarPU name."""
+    try:
+        cls = SCHEDULERS[name]
+    except KeyError:
+        raise KeyError(f"unknown scheduler {name!r}; have {sorted(SCHEDULERS)}") from None
+    return cls(workers, perf, data, rng)
+
+
+__all__ = [
+    "Scheduler",
+    "SCHEDULERS",
+    "make_scheduler",
+    "EagerScheduler",
+    "RandomScheduler",
+    "WorkStealingScheduler",
+    "DMScheduler",
+    "DMDAScheduler",
+    "DMDASScheduler",
+    "DMDAEScheduler",
+]

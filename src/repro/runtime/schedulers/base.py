@@ -1,0 +1,81 @@
+"""Scheduler interface.
+
+The engine calls :meth:`push_ready` when a task's dependencies are satisfied
+and :meth:`pop` when a worker goes idle.  Schedulers never execute anything;
+they only decide placement and ordering.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.runtime.data import DataManager
+from repro.runtime.graph import Task
+from repro.runtime.perfmodel import PerfModelSet
+from repro.runtime.worker import WorkerType
+
+
+class Scheduler(ABC):
+    """Base class for all scheduling policies."""
+
+    #: Whether the policy consults calibrated performance models.
+    uses_perfmodel = False
+
+    def __init__(
+        self,
+        workers: Sequence[WorkerType],
+        perf: PerfModelSet,
+        data: DataManager,
+        rng: np.random.Generator,
+    ) -> None:
+        if not workers:
+            raise ValueError("scheduler needs at least one worker")
+        self.workers = list(workers)
+        self.perf = perf
+        self.data = data
+        self.rng = rng
+        self.n_pushed = 0
+        self.n_popped = 0
+
+    @abstractmethod
+    def push_ready(self, task: Task, now: float) -> None:
+        """A task became ready; decide where it queues."""
+
+    @abstractmethod
+    def pop(self, worker: WorkerType, now: float) -> Optional[Task]:
+        """An idle worker requests work; return a task or ``None``."""
+
+    def task_started(self, task: Task, worker: WorkerType, now: float) -> None:
+        """Hook: the engine began executing ``task`` on ``worker``."""
+
+    def task_finished(self, task: Task, worker: WorkerType, now: float) -> None:
+        """Hook: ``task`` completed on ``worker``."""
+
+    @abstractmethod
+    def has_pending(self) -> bool:
+        """True while any queued (not yet popped) task remains."""
+
+    def peek(self, worker: WorkerType) -> Optional[Task]:
+        """Next task this worker would pop, if the policy binds tasks to
+        workers (used by the engine for data prefetch).  ``None`` for
+        shared-queue policies."""
+        return None
+
+    def peek_many(self, worker: WorkerType, depth: int) -> list[Task]:
+        """Up to ``depth`` upcoming tasks on this worker's queue (prefetch)."""
+        head = self.peek(worker)
+        return [head] if head is not None else []
+
+    def estimate(self, task: Task, worker: WorkerType) -> float:
+        """Calibrated duration estimate of ``task`` on ``worker``."""
+        return self.perf.estimate(task.op, worker.arch)
+
+    def eligible(self, task: Task) -> list[WorkerType]:
+        """Workers holding an implementation of the task's kernel."""
+        out = [w for w in self.workers if w.can_run(task.op)]
+        if not out:
+            raise RuntimeError(f"no worker can run {task.op.kind!r}")
+        return out

@@ -1,0 +1,74 @@
+"""dm (dequeue model / heft-tm): HEFT-like expected-completion-time placement.
+
+At submission each ready task is assigned to the worker with the earliest
+*expected completion time*:
+
+    ECT(w) = now + backlog(w) + t_est(task, w)
+
+where ``backlog(w)`` is the summed estimated duration of everything already
+queued on (or running on) ``w``, and ``t_est`` comes from the calibrated
+performance models.  Because those models are recalibrated after every cap
+change, a power-capped GPU advertises longer estimates and automatically
+receives fewer tasks — the adaptation mechanism at the centre of the paper.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.runtime.graph import Task
+from repro.runtime.schedulers.base import Scheduler
+from repro.runtime.worker import WorkerType
+
+
+class DMScheduler(Scheduler):
+    name = "dm"
+    uses_perfmodel = True
+
+    def __init__(self, workers, perf, data, rng) -> None:
+        super().__init__(workers, perf, data, rng)
+        self._queues: dict[str, deque[Task]] = {w.name: deque() for w in self.workers}
+        self._backlog: dict[str, float] = {w.name: 0.0 for w in self.workers}
+        self._task_est: dict[int, float] = {}
+
+    # --------------------------------------------------------------- scoring
+
+    def placement_cost(self, task: Task, worker: WorkerType, now: float) -> float:
+        """Expected completion time of ``task`` on ``worker``."""
+        return self._backlog[worker.name] + self.estimate(task, worker)
+
+    # ------------------------------------------------------------------- api
+
+    def push_ready(self, task: Task, now: float) -> None:
+        best = min(self.eligible(task), key=lambda w: self.placement_cost(task, w, now))
+        est = self.estimate(task, best)
+        self._queues[best.name].append(task)
+        self._backlog[best.name] += est
+        self._task_est[task.tid] = est
+        self.n_pushed += 1
+
+    def pop(self, worker: WorkerType, now: float) -> Optional[Task]:
+        queue = self._queues[worker.name]
+        if not queue:
+            return None
+        self.n_popped += 1
+        return self._take(queue)
+
+    def _take(self, queue: deque) -> Task:
+        return queue.popleft()
+
+    def peek(self, worker: WorkerType) -> Optional[Task]:
+        queue = self._queues[worker.name]
+        return queue[0] if queue else None
+
+    def peek_many(self, worker: WorkerType, depth: int) -> list[Task]:
+        queue = self._queues[worker.name]
+        return [queue[i] for i in range(min(depth, len(queue)))]
+
+    def task_finished(self, task: Task, worker: WorkerType, now: float) -> None:
+        est = self._task_est.pop(task.tid, 0.0)
+        self._backlog[worker.name] = max(0.0, self._backlog[worker.name] - est)
+
+    def has_pending(self) -> bool:
+        return any(self._queues.values())

@@ -1,0 +1,20 @@
+"""dmda (dequeue model data aware): dm plus a transfer-time penalty.
+
+The placement cost adds the predicted time to stage every missing input on
+the candidate worker's memory node (including current PCIe queue backlog),
+so tasks gravitate to devices that already hold their data.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.graph import Task
+from repro.runtime.schedulers.dm import DMScheduler
+from repro.runtime.worker import WorkerType
+
+
+class DMDAScheduler(DMScheduler):
+    name = "dmda"
+
+    def placement_cost(self, task: Task, worker: WorkerType, now: float) -> float:
+        transfer = self.data.transfer_estimate(task.accesses, worker.mem_node)
+        return super().placement_cost(task, worker, now) + transfer

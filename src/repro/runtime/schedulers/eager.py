@@ -1,0 +1,39 @@
+"""Eager: one central FIFO shared by every worker.
+
+Greedy and model-free — the first idle worker takes the oldest ready task,
+however badly suited.  On a heterogeneous node this lets slow CPU cores grab
+huge GEMM tiles, which is exactly why the dequeue-model family exists; the
+scheduler-ablation bench quantifies the gap.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.runtime.graph import Task
+from repro.runtime.schedulers.base import Scheduler
+from repro.runtime.worker import WorkerType
+
+
+class EagerScheduler(Scheduler):
+    name = "eager"
+
+    def __init__(self, workers, perf, data, rng) -> None:
+        super().__init__(workers, perf, data, rng)
+        self._queue: deque[Task] = deque()
+
+    def push_ready(self, task: Task, now: float) -> None:
+        self._queue.append(task)
+        self.n_pushed += 1
+
+    def pop(self, worker: WorkerType, now: float) -> Optional[Task]:
+        for i, task in enumerate(self._queue):
+            if worker.can_run(task.op):
+                del self._queue[i]
+                self.n_popped += 1
+                return task
+        return None
+
+    def has_pending(self) -> bool:
+        return bool(self._queue)

@@ -1,0 +1,34 @@
+"""Random: uniform random per-worker assignment at submission time."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.runtime.graph import Task
+from repro.runtime.schedulers.base import Scheduler
+from repro.runtime.worker import WorkerType
+
+
+class RandomScheduler(Scheduler):
+    name = "random"
+
+    def __init__(self, workers, perf, data, rng) -> None:
+        super().__init__(workers, perf, data, rng)
+        self._queues: dict[str, deque[Task]] = {w.name: deque() for w in self.workers}
+
+    def push_ready(self, task: Task, now: float) -> None:
+        candidates = self.eligible(task)
+        target = candidates[int(self.rng.integers(len(candidates)))]
+        self._queues[target.name].append(task)
+        self.n_pushed += 1
+
+    def pop(self, worker: WorkerType, now: float) -> Optional[Task]:
+        queue = self._queues[worker.name]
+        if not queue:
+            return None
+        self.n_popped += 1
+        return queue.popleft()
+
+    def has_pending(self) -> bool:
+        return any(self._queues.values())

@@ -1,0 +1,52 @@
+"""Work stealing: per-worker deques, idle workers steal from the longest."""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Optional
+
+from repro.runtime.graph import Task
+from repro.runtime.schedulers.base import Scheduler
+from repro.runtime.worker import WorkerType
+
+
+class WorkStealingScheduler(Scheduler):
+    name = "ws"
+
+    def __init__(self, workers, perf, data, rng) -> None:
+        super().__init__(workers, perf, data, rng)
+        self._queues: dict[str, deque[Task]] = {w.name: deque() for w in self.workers}
+        self._rr = itertools.cycle([w.name for w in self.workers])
+        self._can = {w.name: w.can_run for w in self.workers}
+
+    def push_ready(self, task: Task, now: float) -> None:
+        # No submitting-worker context in this engine: distribute round-robin
+        # over workers that can actually run the kernel.
+        while True:
+            name = next(self._rr)
+            if self._can[name](task.op):
+                break
+        self._queues[name].append(task)
+        self.n_pushed += 1
+
+    def _scan(self, queue: deque, worker: WorkerType, from_right: bool) -> Optional[Task]:
+        indices = range(len(queue) - 1, -1, -1) if from_right else range(len(queue))
+        for i in indices:
+            if worker.can_run(queue[i].op):
+                task = queue[i]
+                del queue[i]
+                return task
+        return None
+
+    def pop(self, worker: WorkerType, now: float) -> Optional[Task]:
+        task = self._scan(self._queues[worker.name], worker, from_right=True)
+        if task is None:
+            victim = max(self._queues.values(), key=len)
+            task = self._scan(victim, worker, from_right=False)
+        if task is not None:
+            self.n_popped += 1
+        return task
+
+    def has_pending(self) -> bool:
+        return any(self._queues.values())

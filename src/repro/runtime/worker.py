@@ -1,0 +1,96 @@
+"""Workers: CPU cores and GPU streams with dedicated driver cores.
+
+StarPU reserves one CPU core per CUDA device to drive it (submit kernels,
+poll completions — a busy-wait loop).  We reproduce that layout: a node with
+``C`` cores and ``G`` GPUs exposes ``C - G`` CPU workers plus ``G`` GPU
+workers, and each GPU worker keeps its driver core *busy* (at full core
+power) while the GPU processes a task.  This is a measurable effect in the
+paper's Fig. 5 CPU energy shares.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.hardware.cpu import CPUPackage
+from repro.hardware.gpu import GPUDevice
+from repro.hardware.node import Node
+
+
+class Worker:
+    """Base worker: a schedulable processing unit."""
+
+    def __init__(self, name: str, arch: str) -> None:
+        self.name = name
+        self.arch = arch
+        self.busy = False
+        self.n_tasks = 0
+        self.busy_time = 0.0
+        self.flops_done = 0.0
+
+    @property
+    def is_gpu(self) -> bool:
+        return isinstance(self, GPUWorker)
+
+    def can_run(self, op) -> bool:
+        """Whether this worker has an implementation for the tile kernel."""
+        return op.runs_on_gpu if self.is_gpu else True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} {self.name} {'busy' if self.busy else 'idle'}>"
+
+
+class CPUWorker(Worker):
+    """One CPU core executing tile kernels."""
+
+    def __init__(self, index: int, package: CPUPackage) -> None:
+        super().__init__(name=f"cpu-w{index}", arch=f"cpu{package.index}")
+        self.package = package
+        self.mem_node = 0
+
+
+class GPUWorker(Worker):
+    """One GPU stream plus its dedicated (busy-waiting) driver core."""
+
+    def __init__(self, gpu: GPUDevice, mem_node: int, driver_package: CPUPackage) -> None:
+        super().__init__(name=f"gpu-w{gpu.index}", arch=f"cuda{gpu.index}")
+        self.gpu = gpu
+        self.mem_node = mem_node
+        self.driver_package = driver_package
+
+
+WorkerType = Union[CPUWorker, GPUWorker]
+
+
+def build_workers(node: Node) -> list[WorkerType]:
+    """StarPU-style worker layout for a node.
+
+    GPU driver cores are taken round-robin from the packages; the remaining
+    cores become CPU workers.  GPU workers come first in the list (matching
+    StarPU's worker ids), but schedulers must not rely on ordering.
+    """
+    reserved = {i: 0 for i in range(len(node.cpus))}
+    gpu_workers: list[WorkerType] = []
+    for gi, gpu in enumerate(node.gpus):
+        pkg_index = gi % len(node.cpus)
+        reserved[pkg_index] += 1
+        gpu_workers.append(
+            GPUWorker(gpu, node.mem_node_of_gpu(gi), node.cpus[pkg_index])
+        )
+    for pkg_index, count in reserved.items():
+        if count > node.cpus[pkg_index].spec.n_cores:
+            raise ValueError("more GPUs than cores to drive them")
+    cpu_workers: list[WorkerType] = []
+    windex = 0
+    for pkg_index, cpu in enumerate(node.cpus):
+        for _ in range(cpu.spec.n_cores - reserved[pkg_index]):
+            cpu_workers.append(CPUWorker(windex, cpu))
+            windex += 1
+    return gpu_workers + cpu_workers
+
+
+def ground_truth_duration(worker: WorkerType, op) -> float:
+    """Noise-free execution time of ``op`` on ``worker`` under current caps."""
+    if isinstance(worker, GPUWorker):
+        return op.time_on_gpu(worker.gpu)
+    return op.time_on_cpu_core(worker.package)

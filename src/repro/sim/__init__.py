@@ -1,0 +1,23 @@
+"""Discrete-event simulation core.
+
+This package provides the minimal deterministic event engine the rest of the
+reproduction is built on: a :class:`~repro.sim.engine.Simulator` with a
+monotonic clock and cancellable events, trace collection utilities
+(:mod:`repro.sim.tracing`) used for Gantt-style execution records, and seeded
+random-stream management (:mod:`repro.sim.rng`) so every experiment is
+reproducible bit-for-bit.
+"""
+
+from repro.sim.engine import EventHandle, Simulator, SimulationError
+from repro.sim.rng import RNGPool
+from repro.sim.tracing import Interval, Point, Tracer
+
+__all__ = [
+    "EventHandle",
+    "Simulator",
+    "SimulationError",
+    "RNGPool",
+    "Interval",
+    "Point",
+    "Tracer",
+]

@@ -1,0 +1,144 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is intentionally small: a binary heap of timestamped events with a
+monotonically increasing sequence number as tie-breaker, which makes execution
+order fully deterministic for equal timestamps.  All simulated components
+(devices, workers, links) schedule plain callbacks; there is no coroutine
+machinery, which keeps the hot loop cheap enough to simulate DAGs with tens of
+thousands of tasks in well under a second.
+
+Time is a float in **seconds**.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised on invalid engine usage (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    time: float
+    seq: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event."""
+
+    __slots__ = ("time", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<EventHandle t={self.time:.9f} {getattr(self.fn, '__name__', self.fn)} {state}>"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> out = []
+    >>> _ = sim.schedule(2.0, out.append, "b")
+    >>> _ = sim.schedule(1.0, out.append, "a")
+    >>> sim.run()
+    >>> out
+    ['a', 'b']
+    >>> sim.now
+    2.0
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[_HeapEntry] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self.n_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at an absolute simulation time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        handle = EventHandle(time, fn, args)
+        heapq.heappush(self._heap, _HeapEntry(time, next(self._seq), handle))
+        return handle
+
+    def peek(self) -> Optional[float]:
+        """Timestamp of the next pending event, or ``None`` if idle."""
+        while self._heap and self._heap[0].handle.cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Process exactly one event.  Returns ``False`` if none are pending."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            handle = entry.handle
+            if handle.cancelled:
+                continue
+            self._now = entry.time
+            self.n_processed += 1
+            handle.fn(*handle.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the event heap drains, ``until`` is reached, or
+        ``max_events`` have been processed.
+
+        ``until`` advances the clock to exactly ``until`` when the heap drains
+        earlier, mirroring how a wall-clock measurement window behaves.
+        """
+        if self._running:
+            raise SimulationError("run() is not re-entrant")
+        self._running = True
+        processed = 0
+        try:
+            while True:
+                nxt = self.peek()
+                if nxt is None:
+                    break
+                if until is not None and nxt > until:
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                self.step()
+                processed += 1
+        finally:
+            self._running = False
+        if until is not None and until > self._now:
+            self._now = until
+
+    def idle(self) -> bool:
+        """True when no (non-cancelled) events are pending."""
+        return self.peek() is None

@@ -1,0 +1,45 @@
+"""Named, seeded random streams.
+
+Every stochastic element of the simulation (kernel-duration noise, calibration
+noise, the ``random`` scheduler) draws from its own named stream derived from a
+single experiment seed.  Streams are independent, so adding noise to one
+component never perturbs another — a property the reproducibility tests rely
+on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+class RNGPool:
+    """Factory of independent :class:`numpy.random.Generator` streams.
+
+    >>> pool = RNGPool(seed=7)
+    >>> a = pool.stream("kernel-noise")
+    >>> b = pool.stream("scheduler")
+    >>> a is pool.stream("kernel-noise")   # cached per name
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def _derive(self, name: str) -> int:
+        digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+        return int.from_bytes(digest[:8], "little")
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return (and cache) the generator for ``name``."""
+        gen = self._streams.get(name)
+        if gen is None:
+            gen = np.random.default_rng(self._derive(name))
+            self._streams[name] = gen
+        return gen
+
+    def fork(self, name: str) -> "RNGPool":
+        """A child pool whose streams are independent of the parent's."""
+        return RNGPool(self._derive(name))

@@ -1,0 +1,45 @@
+"""StarPU-flavoured API facade.
+
+For users porting StarPU code, this module mirrors the classic C API shapes
+over the simulated runtime::
+
+    import repro.starpu as starpu
+
+    starpu.init(node, sched="dmdas")
+    h = starpu.data_register(nbytes, label="tile")
+    cl = starpu.codelet("gemm", nb=2880, precision="double")
+    starpu.task_insert(cl, (c, starpu.RW), (a, starpu.R), (b, starpu.R),
+                       priority=3)
+    stats = starpu.task_wait_for_all()
+    starpu.shutdown()
+
+Tasks accumulate into an implicit graph (sequential data consistency, like
+StarPU's default); ``task_wait_for_all`` executes everything submitted since
+the previous barrier and returns the run metrics.
+"""
+
+from repro.starpu.api import (
+    R,
+    RW,
+    W,
+    codelet,
+    data_register,
+    data_unregister,
+    init,
+    shutdown,
+    task_insert,
+    task_wait_for_all,
+)
+
+__all__ = [
+    "R",
+    "RW",
+    "W",
+    "codelet",
+    "data_register",
+    "data_unregister",
+    "init",
+    "shutdown",
+    "task_insert",
+    "task_wait_for_all",
+]

@@ -1,0 +1,104 @@
+"""The StarPU-style module-global session."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hardware.node import Node
+from repro.kernels.tile_kernels import TileOp
+from repro.runtime.data import AccessMode, DataHandle
+from repro.runtime.engine import RunResult, RuntimeSystem
+from repro.runtime.graph import Task, TaskGraph
+
+#: StarPU access-mode aliases.
+R = AccessMode.R
+W = AccessMode.W
+RW = AccessMode.RW
+
+
+class StarPUError(RuntimeError):
+    """Facade misuse (uninitialised session, bad arguments)."""
+
+
+@dataclass
+class _Session:
+    node: Node
+    runtime: RuntimeSystem
+    graph: TaskGraph
+    handles: set
+
+
+_session: Optional[_Session] = None
+
+
+def init(node: Node, sched: str = "dmdas", seed: int = 0, **runtime_kwargs) -> None:
+    """Initialise the runtime on a node (``starpu_init``)."""
+    global _session
+    if _session is not None:
+        raise StarPUError("already initialised; call shutdown() first")
+    runtime = RuntimeSystem(node, scheduler=sched, seed=seed, **runtime_kwargs)
+    _session = _Session(node=node, runtime=runtime, graph=TaskGraph(), handles=set())
+
+
+def shutdown() -> None:
+    """Tear the session down (``starpu_shutdown``)."""
+    global _session
+    if _session is not None and len(_session.graph):
+        raise StarPUError("pending tasks; call task_wait_for_all() before shutdown")
+    _session = None
+
+
+def _require() -> _Session:
+    if _session is None:
+        raise StarPUError("call starpu.init(node) first")
+    return _session
+
+
+def data_register(nbytes: int, label: str = "") -> DataHandle:
+    """Register one data block (``starpu_*_data_register``)."""
+    sess = _require()
+    handle = DataHandle(nbytes, label=label)
+    sess.handles.add(handle)
+    return handle
+
+
+def data_unregister(handle: DataHandle) -> None:
+    """Forget a handle (``starpu_data_unregister``)."""
+    _require().handles.discard(handle)
+
+
+def codelet(kind: str, nb: int, precision: str = "double") -> TileOp:
+    """Declare a codelet: a named kernel with CPU and (maybe) CUDA variants.
+
+    Unlike the C API there are no function pointers: the analytic kernel
+    models stand in for the implementations.
+    """
+    return TileOp(kind, nb, precision)
+
+
+def task_insert(
+    cl: TileOp,
+    *accesses: tuple[DataHandle, AccessMode],
+    priority: int = 0,
+    name: str = "",
+) -> Task:
+    """Submit a task (``starpu_task_insert``); dependencies are implicit."""
+    sess = _require()
+    for handle, _ in accesses:
+        if handle not in sess.handles:
+            raise StarPUError(f"handle {handle!r} is not registered")
+    return sess.graph.add_task(cl, list(accesses), priority=priority, label=name)
+
+
+def task_wait_for_all(calibrate: bool = True) -> Optional[RunResult]:
+    """Barrier: execute everything submitted so far (``starpu_task_wait_for_all``).
+
+    Returns the run metrics, or ``None`` if nothing was submitted.
+    """
+    sess = _require()
+    if not len(sess.graph):
+        return None
+    result = sess.runtime.run(sess.graph, calibrate=calibrate)
+    sess.graph = TaskGraph()
+    return result

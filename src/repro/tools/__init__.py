@@ -1,0 +1,7 @@
+"""Observability tooling: Gantt rendering, power sampling, trace export."""
+
+from repro.tools.chrometrace import to_chrome_trace
+from repro.tools.gantt import render_gantt
+from repro.tools.powertrace import PowerSample, PowerSampler
+
+__all__ = ["to_chrome_trace", "render_gantt", "PowerSample", "PowerSampler"]

@@ -1,0 +1,66 @@
+"""Chrome trace-event export (``chrome://tracing`` / Perfetto).
+
+Converts a :class:`~repro.sim.tracing.Tracer` into the Trace Event JSON
+format, one timeline row per resource, so executions can be inspected in
+any Perfetto-compatible viewer — the workflow StarPU users get from its
+FxT traces.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.sim.tracing import Tracer
+
+
+def to_chrome_trace(tracer: Tracer, time_unit_us: float = 1e6) -> dict:
+    """Build a trace-event dict (serialise with ``json.dumps``).
+
+    ``time_unit_us`` scales simulated seconds to microsecond timestamps
+    (default: 1 simulated second = 1 second of trace time).
+    """
+    events = []
+    tids = {name: i for i, name in enumerate(tracer.resources())}
+    for iv in tracer.intervals:
+        events.append(
+            {
+                "name": iv.label or iv.kind,
+                "cat": iv.kind,
+                "ph": "X",
+                "ts": iv.start * time_unit_us,
+                "dur": iv.duration * time_unit_us,
+                "pid": 0,
+                "tid": tids[iv.resource],
+                "args": dict(iv.info),
+            }
+        )
+    for point in tracer.points:
+        events.append(
+            {
+                "name": point.label or point.kind,
+                "cat": point.kind,
+                "ph": "i",
+                "ts": point.time * time_unit_us,
+                "pid": 0,
+                "tid": tids.get(point.resource, 0),
+                "s": "t",
+                "args": dict(point.info),
+            }
+        )
+    metadata = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": tid,
+            "args": {"name": resource},
+        }
+        for resource, tid in tids.items()
+    ]
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> None:
+    """Serialise the trace to a JSON file loadable by Perfetto."""
+    with open(path, "w") as fh:
+        json.dump(to_chrome_trace(tracer), fh)

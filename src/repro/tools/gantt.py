@@ -1,0 +1,79 @@
+"""ASCII Gantt rendering of execution traces.
+
+Turns a :class:`~repro.sim.tracing.Tracer` into a terminal-friendly timeline:
+one row per resource, one character per time bucket, with the per-bucket
+dominant activity kind marked.  Useful for eyeballing how the scheduler
+drains work off capped GPUs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.tracing import Tracer
+
+#: Character per interval kind (first match wins inside a bucket).
+KIND_CHARS = {
+    "task": "#",
+    "xfer-h2d": ">",
+    "xfer-d2h": "<",
+}
+
+DEFAULT_WIDTH = 80
+
+
+def render_gantt(
+    tracer: Tracer,
+    width: int = DEFAULT_WIDTH,
+    resources: Optional[list[str]] = None,
+    t_min: Optional[float] = None,
+    t_max: Optional[float] = None,
+) -> str:
+    """Render the trace as fixed-width rows of activity buckets.
+
+    Buckets containing any ``task`` interval print ``#``; otherwise transfer
+    activity prints ``>``/``<``; idle prints ``.``.  A time ruler is appended.
+    """
+    if width < 10:
+        raise ValueError("width must be at least 10")
+    if not tracer.intervals:
+        return "(empty trace)\n"
+    lo = min(iv.start for iv in tracer.intervals) if t_min is None else t_min
+    hi = tracer.makespan() if t_max is None else t_max
+    if hi <= lo:
+        raise ValueError("empty time window")
+    span = hi - lo
+    names = resources if resources is not None else tracer.resources()
+    label_w = max(len(n) for n in names) + 1
+    lines = []
+    for name in names:
+        cells = [" "] * width
+        occupancy = [""] * width
+        for iv in tracer.by_resource(name):
+            if iv.end <= lo or iv.start >= hi:
+                continue
+            b0 = max(0, int((max(iv.start, lo) - lo) / span * width))
+            b1 = min(width - 1, int((min(iv.end, hi) - lo) / span * width))
+            for b in range(b0, b1 + 1):
+                char = KIND_CHARS.get(iv.kind, "#")
+                # tasks dominate transfers in a shared bucket
+                if occupancy[b] != "task":
+                    cells[b] = char
+                    occupancy[b] = iv.kind
+        row = "".join(c if c != " " else "." for c in cells)
+        lines.append(f"{name.ljust(label_w)}|{row}|")
+    ruler = f"{''.ljust(label_w)}|{lo:<{width // 2}.3f}{hi:>{width - width // 2}.3f}|"
+    lines.append(ruler)
+    legend = "  # task   > h2d   < d2h   . idle"
+    lines.append(legend)
+    return "\n".join(lines) + "\n"
+
+
+def utilization_summary(tracer: Tracer) -> list[tuple[str, float]]:
+    """Per-resource busy fraction over the trace makespan."""
+    makespan = tracer.makespan()
+    if makespan == 0:
+        return []
+    return [
+        (name, tracer.busy_time(name) / makespan) for name in tracer.resources()
+    ]

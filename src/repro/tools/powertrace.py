@@ -1,0 +1,94 @@
+"""Power-timeline sampling (the simulated ``nvidia-smi dmon``).
+
+A :class:`PowerSampler` polls every device's instantaneous draw on a fixed
+period while a runtime run executes, through the same NVML/RAPL facades a
+monitoring daemon would use on real hardware.  Start it before
+``runtime.run``; it re-arms itself until the run drains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro import nvml
+from repro.hardware.node import Node
+from repro.runtime.engine import RuntimeSystem
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    time_s: float
+    device_w: dict[str, float]
+
+    @property
+    def total_w(self) -> float:
+        return sum(self.device_w.values())
+
+
+@dataclass
+class PowerSampler:
+    """Periodic full-node power sampling on the simulation clock."""
+
+    node: Node
+    runtime: RuntimeSystem
+    period_s: float = 0.05
+    samples: list[PowerSample] = field(default_factory=list)
+
+    def start(self) -> None:
+        nvml.nvmlInit(self.node)
+        self.runtime.sim.schedule(0.0, self._tick)
+
+    def _tick(self) -> None:
+        reading: dict[str, float] = {}
+        for i, cpu in enumerate(self.node.cpus):
+            # RAPL exposes energy, not power; a daemon differentiates.  The
+            # model's instantaneous value is equivalent and cheaper here.
+            reading[cpu.name] = cpu.power_w
+        for i in range(len(self.node.gpus)):
+            handle = nvml.nvmlDeviceGetHandleByIndex(i)
+            reading[f"gpu{i}"] = nvml.nvmlDeviceGetPowerUsage(handle) / 1000.0
+        self.samples.append(PowerSample(self.runtime.sim.now, reading))
+        if self.runtime.pending_tasks > 0:
+            self.runtime.sim.schedule(self.period_s, self._tick)
+
+    # ----------------------------------------------------------------- views
+
+    def peak_w(self, device: Optional[str] = None) -> float:
+        if not self.samples:
+            return 0.0
+        if device is None:
+            return max(s.total_w for s in self.samples)
+        return max(s.device_w[device] for s in self.samples)
+
+    def average_w(self, device: Optional[str] = None) -> float:
+        if not self.samples:
+            return 0.0
+        if device is None:
+            return sum(s.total_w for s in self.samples) / len(self.samples)
+        return sum(s.device_w[device] for s in self.samples) / len(self.samples)
+
+    def series(self, device: str) -> list[tuple[float, float]]:
+        return [(s.time_s, s.device_w[device]) for s in self.samples]
+
+    def ascii_plot(self, device: str, width: int = 60, height: int = 8) -> str:
+        """Tiny terminal sparkline of one device's power over time."""
+        series = self.series(device)
+        if not series:
+            return "(no samples)\n"
+        values = [v for _, v in series]
+        vmax = max(values) or 1.0
+        # Downsample to `width` buckets by averaging.
+        buckets = []
+        for b in range(width):
+            chunk = values[b * len(values) // width : (b + 1) * len(values) // width]
+            buckets.append(sum(chunk) / len(chunk) if chunk else 0.0)
+        rows = []
+        for level in range(height, 0, -1):
+            threshold = vmax * (level - 0.5) / height
+            rows.append(
+                f"{vmax * level / height:7.0f}W |"
+                + "".join("*" if v >= threshold else " " for v in buckets)
+            )
+        rows.append(" " * 9 + "-" * width)
+        return "\n".join(rows) + "\n"

@@ -1,0 +1,74 @@
+"""Unit tests for cap-state configurations."""
+
+import pytest
+
+from repro.core.capconfig import (
+    CapConfig,
+    CapStates,
+    enumerate_configs,
+    permutation_group,
+    standard_configs,
+)
+
+
+STATES = CapStates(h_w=400.0, b_w=216.0, l_w=100.0)
+
+
+def test_watts_mapping():
+    cfg = CapConfig("HBLB")
+    assert cfg.watts(STATES) == [400.0, 216.0, 100.0, 216.0]
+
+
+def test_invalid_letters_rejected():
+    with pytest.raises(ValueError):
+        CapConfig("HHXB")
+    with pytest.raises(ValueError):
+        CapConfig("")
+
+
+def test_states_unknown_letter():
+    with pytest.raises(ValueError):
+        STATES.watts("Q")
+
+
+def test_is_default():
+    assert CapConfig("HHHH").is_default()
+    assert not CapConfig("HHHB").is_default()
+
+
+def test_canonical_ordering():
+    assert CapConfig("BHLB").canonical().letters == "HBBL"
+
+
+def test_standard_configs_four_gpus():
+    letters = [c.letters for c in standard_configs(4)]
+    assert letters == [
+        "LLLL", "HLLL", "HHLL", "HHHL",
+        "HHHH", "HHHB", "HHBB", "HBBB", "BBBB",
+    ]
+
+
+def test_standard_configs_two_gpus():
+    letters = [c.letters for c in standard_configs(2)]
+    assert letters == ["LL", "HL", "HH", "HB", "BB"]
+
+
+def test_standard_configs_invalid():
+    with pytest.raises(ValueError):
+        standard_configs(0)
+
+
+def test_enumerate_all_configs():
+    configs = enumerate_configs(2)
+    assert len(configs) == 9
+    assert len({c.letters for c in configs}) == 9
+
+
+def test_permutation_group_of_hhbb():
+    group = permutation_group(CapConfig("HHBB"))
+    assert len(group) == 6
+    assert all(sorted(c.letters) == ["B", "B", "H", "H"] for c in group)
+
+
+def test_permutation_group_of_uniform():
+    assert len(permutation_group(CapConfig("HHH"))) == 1

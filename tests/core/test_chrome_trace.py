@@ -1,0 +1,61 @@
+"""Tests for the Chrome trace-event exporter."""
+
+import json
+
+import pytest
+
+from repro.hardware.catalog import build_platform
+from repro.linalg import assign_priorities, gemm_graph
+from repro.runtime import RuntimeSystem
+from repro.sim import Simulator, Tracer
+from repro.tools import to_chrome_trace
+from repro.tools.chrometrace import write_chrome_trace
+
+
+@pytest.fixture
+def tracer():
+    sim = Simulator()
+    node = build_platform("24-Intel-2-V100", sim)
+    tr = Tracer()
+    rt = RuntimeSystem(node, scheduler="dmdas", seed=1, tracer=tr)
+    graph, *_ = gemm_graph(1440 * 4, 1440, "double")
+    assign_priorities(graph)
+    rt.run(graph)
+    return tr
+
+
+def test_trace_is_json_serialisable(tracer):
+    doc = to_chrome_trace(tracer)
+    text = json.dumps(doc)
+    assert json.loads(text)["traceEvents"]
+
+
+def test_complete_events_match_intervals(tracer):
+    doc = to_chrome_trace(tracer)
+    xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert len(xs) == len(tracer.intervals)
+    for e in xs:
+        assert e["dur"] >= 0 and e["ts"] >= 0
+
+
+def test_thread_names_cover_resources(tracer):
+    doc = to_chrome_trace(tracer)
+    names = {
+        e["args"]["name"] for e in doc["traceEvents"] if e["ph"] == "M"
+    }
+    assert set(tracer.resources()) == names
+
+
+def test_instant_events_from_points():
+    tr = Tracer()
+    tr.interval("gpu0", "task", 0.0, 1.0)
+    tr.point("gpu0", "cap", 0.5, "216W")
+    doc = to_chrome_trace(tr)
+    instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+    assert len(instants) == 1 and instants[0]["name"] == "216W"
+
+
+def test_write_chrome_trace(tmp_path, tracer):
+    path = tmp_path / "trace.json"
+    write_chrome_trace(tracer, str(path))
+    assert json.loads(path.read_text())["displayTimeUnit"] == "ms"

@@ -1,0 +1,109 @@
+"""Tests for cluster-level power budgeting."""
+
+import pytest
+
+from repro.cluster import (
+    FarmGPU,
+    GPUFarm,
+    allocate_uniform,
+    allocate_waterfill,
+    best_efficiency_allocation,
+)
+from repro.kernels.gemm import GemmKernel
+
+
+def _farm(models):
+    return GPUFarm([FarmGPU(m, GemmKernel.square(5120, "double")) for m in models])
+
+
+@pytest.fixture
+def hetero():
+    return _farm(["A100-SXM4-40GB", "A100-SXM4-40GB", "V100-PCIE-32GB", "V100-PCIE-32GB"])
+
+
+@pytest.fixture
+def homo():
+    return _farm(["A100-SXM4-40GB"] * 4)
+
+
+def test_empty_farm_rejected():
+    with pytest.raises(ValueError):
+        GPUFarm([])
+
+
+def test_budget_below_minimum_rejected(hetero):
+    with pytest.raises(ValueError):
+        allocate_uniform(hetero, hetero.min_budget() - 50)
+
+
+def test_uniform_respects_budget_and_ranges(hetero):
+    for budget in (500.0, 800.0, 1100.0):
+        caps = allocate_uniform(hetero, budget)
+        hetero.validate_allocation(caps, budget)
+
+
+def test_uniform_recycles_clamped_surplus(hetero):
+    # 1100 W over [400,400,250,250]-max devices: V100s clamp at 250,
+    # the A100s absorb the rest.
+    caps = allocate_uniform(hetero, 1100.0)
+    assert caps[2] == caps[3] == 250.0
+    assert caps[0] == caps[1] == pytest.approx(300.0)
+
+
+def test_waterfill_respects_budget_and_ranges(hetero):
+    for budget in (500.0, 700.0, 900.0):
+        caps = allocate_waterfill(hetero, budget)
+        hetero.validate_allocation(caps, budget)
+
+
+def test_waterfill_beats_uniform_on_heterogeneous_farm(hetero):
+    budget = 760.0
+    uni = hetero.total_throughput(allocate_uniform(hetero, budget))
+    wf = hetero.total_throughput(allocate_waterfill(hetero, budget))
+    assert wf > uni * 1.02
+
+
+def test_waterfill_feeds_the_hungrier_devices(hetero):
+    caps = allocate_waterfill(hetero, 760.0)
+    # A100s (2.7x the V100's throughput) should get more watts each.
+    assert min(caps[0], caps[1]) > max(caps[2], caps[3])
+
+
+def test_waterfill_matches_uniform_on_homogeneous_farm(homo):
+    budget = 4 * 260.0
+    uni = homo.total_throughput(allocate_uniform(homo, budget))
+    wf = homo.total_throughput(allocate_waterfill(homo, budget, step_w=5.0))
+    assert wf == pytest.approx(uni, rel=0.02)
+
+
+def test_more_budget_never_hurts(hetero):
+    budgets = [500.0, 650.0, 800.0, 950.0, 1100.0]
+    throughputs = [
+        hetero.total_throughput(allocate_waterfill(hetero, b)) for b in budgets
+    ]
+    for a, b in zip(throughputs, throughputs[1:]):
+        assert b >= a - 1e-6
+
+
+def test_waterfill_stops_at_saturation(hetero):
+    """Beyond every GPU's max draw, extra budget is left unspent."""
+    caps = allocate_waterfill(hetero, hetero.max_budget() + 500.0)
+    hetero.validate_allocation(caps, hetero.max_budget() + 500.0)
+    assert sum(caps) <= hetero.max_budget() + 1e-6
+
+
+def test_best_efficiency_allocation_matches_table1(homo):
+    caps = best_efficiency_allocation(homo)
+    for cap in caps:
+        assert cap / 400.0 == pytest.approx(0.54, abs=0.04)
+
+
+def test_best_efficiency_beats_full_power_efficiency(hetero):
+    full = [g.cap_range[1] for g in hetero.gpus]
+    eff_caps = best_efficiency_allocation(hetero)
+    assert hetero.total_efficiency(eff_caps) > hetero.total_efficiency(full) * 1.1
+
+
+def test_waterfill_step_validation(hetero):
+    with pytest.raises(ValueError):
+        allocate_waterfill(hetero, 800.0, step_w=0.0)

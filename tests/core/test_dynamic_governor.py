@@ -1,0 +1,64 @@
+"""Tests for the dynamic cap governor extension."""
+
+import pytest
+
+from repro import nvml
+from repro.core.dynamic import DynamicCapGovernor
+from repro.hardware.catalog import gpu_spec
+from repro.hardware.gpu import GPUDevice
+from repro.kernels.gemm import GemmKernel
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def gpu_sim():
+    sim = Simulator()
+    gpu = GPUDevice(gpu_spec("A100-SXM4-40GB"), 0, sim)
+
+    class _Node:
+        gpus = [gpu]
+
+    nvml.nvmlInit(_Node())
+    yield gpu, sim
+    nvml.nvmlShutdown()
+
+
+def test_governor_converges_near_best_cap(gpu_sim):
+    gpu, sim = gpu_sim
+    gov = DynamicCapGovernor(gpu, sim, step_w=8.0)
+    final = gov.tune(GemmKernel.square(5120, "double"))
+    # Offline sweep optimum is ~216 W (54 % TDP).
+    assert final == pytest.approx(216.0, abs=20.0)
+
+
+def test_governor_single_precision_lower_cap(gpu_sim):
+    gpu, sim = gpu_sim
+    final_sp = DynamicCapGovernor(gpu, sim, step_w=8.0).tune(GemmKernel.square(5120, "single"))
+    gpu.set_power_limit(gpu.spec.cap_max_w)
+    final_dp = DynamicCapGovernor(gpu, sim, step_w=8.0).tune(GemmKernel.square(5120, "double"))
+    assert final_sp < final_dp
+
+
+def test_governor_records_history(gpu_sim):
+    gpu, sim = gpu_sim
+    gov = DynamicCapGovernor(gpu, sim, step_w=10.0)
+    gov.tune(GemmKernel.square(4096, "double"))
+    assert len(gov.history) >= 3
+    assert gov.history[0].action == "hold"
+    assert any(s.action == "down" for s in gov.history)
+
+
+def test_governor_respects_cap_constraints(gpu_sim):
+    gpu, sim = gpu_sim
+    gov = DynamicCapGovernor(gpu, sim, step_w=50.0)
+    final = gov.tune(GemmKernel.square(5120, "double"))
+    assert gpu.spec.cap_min_w <= final <= gpu.spec.cap_max_w
+
+
+def test_governor_from_low_start_climbs_up(gpu_sim):
+    """Starting below the optimum, the governor must reverse and climb."""
+    gpu, sim = gpu_sim
+    gpu.set_power_limit(120.0)
+    gov = DynamicCapGovernor(gpu, sim, step_w=10.0)
+    final = gov.tune(GemmKernel.square(5120, "double"))
+    assert final > 150.0

@@ -1,0 +1,98 @@
+"""Tests for dynamic capping during a task-based run."""
+
+import pytest
+
+from repro.core.dynamic_runtime import RuntimeCapGovernor
+from repro.hardware.catalog import build_platform
+from repro.linalg import assign_priorities, gemm_graph
+from repro.runtime import RuntimeSystem
+from repro.sim import Simulator
+
+
+def _run_with_governor(nt=12, period=0.4, step=25.0):
+    sim = Simulator()
+    node = build_platform("32-AMD-4-A100", sim)
+    rt = RuntimeSystem(node, scheduler="dmdas", seed=1, ewma_alpha=0.3)
+    graph, *_ = gemm_graph(5760 * nt, 5760, "double")
+    assign_priorities(graph)
+    gov = RuntimeCapGovernor(node, rt, period_s=period, step_w=step)
+    gov.start()
+    res = rt.run(graph)
+    return res, gov
+
+
+def _run_static(caps, nt=12):
+    sim = Simulator()
+    node = build_platform("32-AMD-4-A100", sim)
+    if caps:
+        node.set_gpu_caps(caps)
+    rt = RuntimeSystem(node, scheduler="dmdas", seed=1)
+    graph, *_ = gemm_graph(5760 * nt, 5760, "double")
+    assign_priorities(graph)
+    return rt.run(graph)
+
+
+def test_governor_runs_and_completes():
+    res, gov = _run_with_governor()
+    assert res.n_tasks == 12**3
+    assert len(gov.history) > 5  # ticked throughout the run
+
+
+def test_governor_lowers_caps_from_default():
+    _, gov = _run_with_governor()
+    final = gov.final_caps()
+    assert all(cap < 400.0 for cap in final)
+    assert all(100.0 <= cap <= 400.0 for cap in final)
+
+
+def test_governor_beats_static_default_efficiency():
+    """Dynamic capping should recover a solid share of the static-B gain."""
+    res_dyn, _ = _run_with_governor()
+    res_default = _run_static(None)
+    res_best = _run_static([220.0] * 4)
+    assert res_dyn.gflops_per_watt > res_default.gflops_per_watt
+    gain_dyn = res_dyn.gflops_per_watt / res_default.gflops_per_watt
+    gain_best = res_best.gflops_per_watt / res_default.gflops_per_watt
+    assert gain_dyn > 1.0 + 0.4 * (gain_best - 1.0)
+
+
+def test_governor_stops_with_run():
+    """The governor must not keep the event heap alive after the run."""
+    sim_probe, gov = _run_with_governor(nt=6)
+    # After run() returned, at most one armed tick remains un-fired and the
+    # simulator must be drainable without looping forever.
+    assert gov.runtime.pending_tasks == 0
+
+
+def test_governor_history_caps_within_constraints():
+    _, gov = _run_with_governor(step=60.0)
+    for _, caps in gov.history:
+        assert all(100.0 <= c <= 400.0 for c in caps)
+
+
+def test_ewma_model_tracks_cap_changes():
+    """EWMA estimates converge to the new speed after a cap change."""
+    from repro.runtime.perfmodel import HistoryModel
+
+    m = HistoryModel(ewma_alpha=0.5)
+    key = ("gemm", 5760, "double")
+    for _ in range(10):
+        m.record(key, "cuda0", 1.0)
+    for _ in range(10):
+        m.record(key, "cuda0", 2.0)  # device slowed down
+    assert m.estimate(key, "cuda0") == pytest.approx(2.0, rel=0.01)
+    plain = HistoryModel()
+    for _ in range(10):
+        plain.record(key, "cuda0", 1.0)
+    for _ in range(10):
+        plain.record(key, "cuda0", 2.0)
+    assert plain.estimate(key, "cuda0") == pytest.approx(1.5)
+
+
+def test_ewma_alpha_validation():
+    from repro.runtime.perfmodel import HistoryModel
+
+    with pytest.raises(ValueError):
+        HistoryModel(ewma_alpha=0.0)
+    with pytest.raises(ValueError):
+        HistoryModel(ewma_alpha=1.5)

@@ -1,0 +1,127 @@
+"""Edge-case batch across modules (gaps found by review)."""
+
+import numpy as np
+import pytest
+
+from repro.core.capconfig import CapConfig
+from repro.core.efficiency import ConfigMetrics
+from repro.hardware.catalog import build_platform, gpu_spec
+from repro.hardware.gpu import GPUDevice
+from repro.kernels.gemm import GemmKernel
+from repro.kernels.model import ceil_div, dtype_bytes
+from repro.runtime.perfmodel import _Stats
+from repro.sim import Simulator
+
+
+# ------------------------------------------------------------------ kernels
+
+
+def test_ceil_div():
+    assert ceil_div(10, 3) == 4
+    assert ceil_div(9, 3) == 3
+    with pytest.raises(ValueError):
+        ceil_div(5, 0)
+
+
+def test_dtype_bytes_error_message():
+    with pytest.raises(ValueError, match="half"):
+        dtype_bytes("half")
+
+
+def test_non_square_gemm_utilization():
+    spec = gpu_spec("A100-SXM4-40GB")
+    tall = GemmKernel(8192, 128, 4096, "double")
+    wide = GemmKernel(128, 8192, 4096, "double")
+    assert tall.utilization(spec) == pytest.approx(wide.utilization(spec))
+    assert tall.flops == wide.flops
+
+
+def test_gemm_tiny_k_is_memory_bound():
+    sim = Simulator()
+    gpu = GPUDevice(gpu_spec("A100-SXM4-40GB"), 0, sim)
+    thin = GemmKernel(4096, 4096, 8, "double")
+    # flops tiny, traffic large: roofline must sit on the memory side.
+    t = thin.time_on_gpu(gpu)
+    mem_floor = thin.traffic_bytes / (gpu.spec.mem_bw_gbs * 1e9)
+    assert t >= mem_floor
+
+
+# ---------------------------------------------------------------- perfmodel
+
+
+def test_welford_stats_variance():
+    s = _Stats()
+    for x in (1.0, 2.0, 3.0, 4.0):
+        s.add(x)
+    assert s.mean == pytest.approx(2.5)
+    assert s.variance == pytest.approx(np.var([1, 2, 3, 4], ddof=1))
+    single = _Stats()
+    single.add(5.0)
+    assert single.variance == 0.0
+
+
+# ------------------------------------------------------------------- config
+
+
+def test_capconfig_str_and_canonical_identity():
+    c = CapConfig("HHBB")
+    assert c.canonical().letters == "HHBB"
+    assert str(c) == "HHBB"
+
+
+def test_config_metrics_requires_positive_makespan():
+    m = ConfigMetrics("HH", 0.0, 1e9, 10.0, {})
+    with pytest.raises(ZeroDivisionError):
+        _ = m.gflops
+
+
+# ------------------------------------------------------------------- device
+
+
+def test_gpu_power_limit_fraction_default():
+    sim = Simulator()
+    gpu = GPUDevice(gpu_spec("V100-PCIE-32GB"), 0, sim)
+    assert gpu.power_limit_fraction() == pytest.approx(1.0)
+
+
+def test_gpu_kernel_power_constant_during_execution():
+    sim = Simulator()
+    gpu = GPUDevice(gpu_spec("V100-PCIE-32GB"), 0, sim)
+    gpu.begin_kernel("double", 0.9)
+    p = gpu.power_w
+    sim.schedule(0.5, lambda: None)
+    sim.run()
+    assert gpu.power_w == p
+    gpu.end_kernel()
+
+
+def test_node_gpu_caps_roundtrip():
+    node = build_platform("64-AMD-2-A100", Simulator())
+    node.set_gpu_caps([200.0, 250.0])
+    assert node.gpu_caps() == [200.0, 250.0]
+
+
+# ---------------------------------------------------------------- engine API
+
+
+def test_run_result_summary_contains_key_figures():
+    from repro.runtime.engine import RunResult
+
+    res = RunResult(
+        makespan_s=2.0,
+        energies_j={"gpu0": 100.0},
+        total_flops=4e12,
+        n_tasks=10,
+        scheduler="dmdas",
+    )
+    text = res.summary()
+    assert "dmdas" in text and "10 tasks" in text
+    assert res.gflops == pytest.approx(2000.0)
+    assert res.gflops_per_watt == pytest.approx(40.0)
+
+
+def test_run_result_gpu_task_fraction_empty():
+    from repro.runtime.engine import RunResult
+
+    res = RunResult(1.0, {}, 1.0, 0, "dmdas", worker_tasks={})
+    assert res.gpu_task_fraction() == 0.0

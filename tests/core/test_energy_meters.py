@@ -1,0 +1,81 @@
+"""Unit tests for the energy measurement harness."""
+
+import pytest
+
+from repro.energy import EnergyMeter, breakdown_from_result
+from repro.hardware.catalog import build_platform
+from repro.linalg import gemm_graph
+from repro.runtime import RuntimeSystem
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def node():
+    return build_platform("24-Intel-2-V100", Simulator())
+
+
+def test_meter_measures_idle_window(node):
+    meter = EnergyMeter(node)
+    meter.start()
+    node.clock.schedule(2.0, lambda: None)
+    node.clock.run()
+    m = meter.stop()
+    assert m.duration_s == pytest.approx(2.0)
+    expected_cpu = 2.0 * sum(c.spec.idle_w for c in node.cpus)
+    expected_gpu = 2.0 * sum(g.spec.idle_w for g in node.gpus)
+    assert m.total_cpu_j == pytest.approx(expected_cpu, rel=1e-5)
+    assert m.total_gpu_j == pytest.approx(expected_gpu, rel=1e-5)
+    assert m.total_j == pytest.approx(expected_cpu + expected_gpu, rel=1e-5)
+
+
+def test_meter_stop_before_start_raises(node):
+    with pytest.raises(RuntimeError):
+        EnergyMeter(node).stop()
+
+
+def test_meter_matches_runtime_result(node):
+    rt = RuntimeSystem(node, seed=1)
+    g, *_ = gemm_graph(512 * 3, 512, "double")
+    meter = EnergyMeter(node)
+    meter.start()
+    res = rt.run(g, reset_energy=False)
+    m = meter.stop()
+    assert m.total_j == pytest.approx(res.total_energy_j, rel=1e-3)
+    assert m.duration_s == pytest.approx(res.makespan_s, rel=1e-6)
+
+
+def test_device_shares_sum_to_one(node):
+    meter = EnergyMeter(node)
+    meter.start()
+    node.clock.schedule(1.0, lambda: None)
+    node.clock.run()
+    m = meter.stop()
+    assert sum(m.device_shares().values()) == pytest.approx(1.0)
+
+
+def test_breakdown_from_result(node):
+    rt = RuntimeSystem(node, seed=1)
+    g, *_ = gemm_graph(512 * 3, 512, "double")
+    res = rt.run(g)
+    b = breakdown_from_result("HH", res)
+    assert b.total_j == pytest.approx(res.total_energy_j)
+    assert b.cpu_j + b.gpu_j == pytest.approx(b.total_j)
+    assert 0 < b.cpu_share < 1
+    rows = b.rows()
+    assert [r[0] for r in rows] == ["cpu0", "cpu1", "gpu0", "gpu1"]
+    assert sum(r[2] for r in rows) == pytest.approx(1.0)
+
+
+def test_cpu_share_grows_under_gpu_caps():
+    """The Fig. 5 effect: capping GPUs raises the CPUs' energy share."""
+    def share(caps):
+        node = build_platform("24-Intel-2-V100", Simulator())
+        if caps:
+            node.set_gpu_caps(caps)
+        rt = RuntimeSystem(node, seed=1)
+        g, *_ = gemm_graph(1440 * 5, 1440, "double")
+        res = rt.run(g)
+        b = breakdown_from_result("x", res)
+        return b.cpu_share
+
+    assert share([100.0, 100.0]) > share(None)

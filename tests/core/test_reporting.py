@@ -1,0 +1,36 @@
+"""Unit tests for table/CSV emitters."""
+
+from repro.core.reporting import format_pct, format_table, to_csv
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "long_header"], [[1, 2.5], ["xyz", 10000.0]])
+    lines = text.splitlines()
+    assert lines[0].startswith("a ")
+    assert "long_header" in lines[0]
+    assert "-+-" in lines[1]
+    assert len(lines) == 4
+    # All rows same width
+    assert len({len(l) for l in (lines[0], lines[2], lines[3])}) == 1
+
+
+def test_format_table_title():
+    text = format_table(["x"], [[1]], title="T")
+    assert text.splitlines()[0] == "T"
+
+
+def test_float_formatting():
+    text = format_table(["v"], [[12345.678], [1.234]])
+    assert "12,346" in text
+    assert "1.23" in text
+
+
+def test_format_pct():
+    assert format_pct(24.301) == "+24.30 %"
+    assert format_pct(-26.41) == "-26.41 %"
+    assert format_pct(5.0, signed=False) == "5.00 %"
+
+
+def test_to_csv():
+    csv = to_csv(["a", "b"], [[1, 2], [3, 4]])
+    assert csv == "a,b\n1,2\n3,4\n"

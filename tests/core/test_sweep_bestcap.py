@@ -1,0 +1,99 @@
+"""Tests for the kernel-level sweep and P_best selection."""
+
+import pytest
+
+from repro.core.bestcap import best_cap_for_gemm, best_cap_watts, state_watts
+from repro.core.efficiency import ConfigMetrics, pct_change
+from repro.core.sweep import best_point, sweep_gemm
+from repro.hardware.catalog import gpu_spec
+
+
+def test_sweep_covers_cap_range():
+    points = sweep_gemm("A100-SXM4-40GB", 2048, "double", step_pct=10.0)
+    caps = [p.cap_w for p in points]
+    assert caps[0] == pytest.approx(100.0)
+    assert caps[-1] == pytest.approx(400.0)
+    assert all(a < b for a, b in zip(caps, caps[1:]))
+
+
+def test_sweep_points_internally_consistent():
+    for p in sweep_gemm("V100-PCIE-32GB", 2048, "double", step_pct=20.0):
+        assert p.time_s > 0 and p.power_w > 0
+        assert p.efficiency == pytest.approx(p.gflops / p.power_w)
+        assert p.energy_j == pytest.approx(p.power_w * p.time_s, rel=1e-9)
+
+
+def test_sweep_power_respects_cap_when_enforceable():
+    spec = gpu_spec("A100-SXM4-40GB")
+    for p in sweep_gemm("A100-SXM4-40GB", 5120, "double", step_pct=5.0):
+        if p.cap_w >= spec.power_profiles["double"].floor_power():
+            assert p.power_w <= p.cap_w * 1.001
+
+
+def test_best_point_is_interior():
+    points = sweep_gemm("A100-SXM4-40GB", 5120, "double")
+    best = best_point(points)
+    assert points[0].cap_w < best.cap_w < points[-1].cap_w
+    assert best.cap_pct_tdp == pytest.approx(54.0, abs=3.0)
+
+
+def test_best_point_empty_raises():
+    with pytest.raises(ValueError):
+        best_point([])
+
+
+def test_best_cap_for_gemm_prefers_large_sizes():
+    best = best_cap_for_gemm("A100-SXM4-40GB", "double", [1024, 5120])
+    assert best.matrix_size == 5120
+    assert 0 < best.perf_ratio < 1
+    assert best.efficiency_saving_pct > 15
+
+
+def test_best_cap_for_gemm_requires_sizes():
+    with pytest.raises(ValueError):
+        best_cap_for_gemm("A100-SXM4-40GB", "double", [])
+
+
+def test_best_cap_watts_single_on_pcie_hits_min_cap():
+    """Paper: on A100-PCIe single precision, B coincides with L (150 W)."""
+    assert best_cap_watts("A100-PCIE-40GB", "single", 5760) == pytest.approx(150.0)
+
+
+def test_state_watts():
+    assert state_watts("A100-SXM4-40GB") == (100.0, 400.0)
+
+
+# ------------------------------------------------------------- efficiency
+
+
+def test_pct_change():
+    assert pct_change(110.0, 100.0) == pytest.approx(10.0)
+    assert pct_change(90.0, 100.0) == pytest.approx(-10.0)
+    with pytest.raises(ZeroDivisionError):
+        pct_change(1.0, 0.0)
+
+
+def _metrics(config, makespan, flops, energy):
+    return ConfigMetrics(
+        config=config,
+        makespan_s=makespan,
+        total_flops=flops,
+        energy_j=energy,
+        device_energy_j={"cpu0": energy / 4, "gpu0": 3 * energy / 4},
+    )
+
+
+def test_config_metrics_deltas_follow_paper_conventions():
+    base = _metrics("HH", 10.0, 1e12, 1000.0)
+    capped = _metrics("BB", 12.5, 1e12, 800.0)
+    assert capped.perf_delta_pct(base) == pytest.approx(-20.0)
+    assert capped.energy_saving_pct(base) == pytest.approx(20.0)
+    assert capped.efficiency_delta_pct(base) == pytest.approx(25.0)
+
+
+def test_config_metrics_properties():
+    m = _metrics("HH", 2.0, 4e9, 100.0)
+    assert m.gflops == pytest.approx(2.0)
+    assert m.efficiency == pytest.approx(0.04)
+    assert m.cpu_energy_j == pytest.approx(25.0)
+    assert m.gpu_energy_j == pytest.approx(75.0)

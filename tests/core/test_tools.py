@@ -1,0 +1,101 @@
+"""Tests for the Gantt renderer and power sampler."""
+
+import pytest
+
+from repro.hardware.catalog import build_platform
+from repro.linalg import assign_priorities, gemm_graph
+from repro.runtime import RuntimeSystem
+from repro.sim import Simulator, Tracer
+from repro.tools import PowerSampler, render_gantt
+from repro.tools.gantt import utilization_summary
+
+
+@pytest.fixture
+def traced_run():
+    sim = Simulator()
+    node = build_platform("24-Intel-2-V100", sim)
+    tracer = Tracer()
+    rt = RuntimeSystem(node, scheduler="dmdas", seed=1, tracer=tracer)
+    graph, *_ = gemm_graph(1440 * 5, 1440, "double")
+    assign_priorities(graph)
+    sampler = PowerSampler(node, rt, period_s=0.004)
+    sampler.start()
+    result = rt.run(graph)
+    return node, tracer, sampler, result
+
+
+def test_gantt_renders_rows_for_busy_workers(traced_run):
+    _, tracer, _, _ = traced_run
+    text = render_gantt(tracer, width=60)
+    assert "gpu-w0" in text and "#" in text
+    assert "idle" in text  # legend
+    lines = [l for l in text.splitlines() if "|" in l]
+    assert len(lines) >= 2
+
+
+def test_gantt_empty_trace():
+    assert render_gantt(Tracer()) == "(empty trace)\n"
+
+
+def test_gantt_width_validation(traced_run):
+    _, tracer, _, _ = traced_run
+    with pytest.raises(ValueError):
+        render_gantt(tracer, width=5)
+
+
+def test_gantt_window_validation(traced_run):
+    _, tracer, _, _ = traced_run
+    with pytest.raises(ValueError):
+        render_gantt(tracer, t_min=5.0, t_max=5.0)
+
+
+def test_gantt_window_restricts_content(traced_run):
+    _, tracer, _, _ = traced_run
+    full = render_gantt(tracer, width=40)
+    tail = render_gantt(tracer, width=40, t_min=tracer.makespan() * 0.9)
+    assert full != tail
+
+
+def test_utilization_summary(traced_run):
+    _, tracer, _, _ = traced_run
+    util = dict(utilization_summary(tracer))
+    assert 0.2 < util["gpu-w0"] <= 1.0
+
+
+def test_sampler_collects_samples(traced_run):
+    node, _, sampler, result = traced_run
+    assert len(sampler.samples) > 10
+    # Sample keys cover every device.
+    assert set(sampler.samples[0].device_w) == {"cpu0", "cpu1", "gpu0", "gpu1"}
+
+
+def test_sampler_average_between_idle_and_peak(traced_run):
+    node, _, sampler, _ = traced_run
+    idle = node.gpus[0].spec.idle_w
+    peak = sampler.peak_w("gpu0")
+    avg = sampler.average_w("gpu0")
+    assert idle <= avg <= peak
+    assert peak <= node.gpus[0].spec.cap_max_w + 1e-9
+
+
+def test_sampler_total_consistency(traced_run):
+    _, _, sampler, _ = traced_run
+    s = sampler.samples[0]
+    assert s.total_w == pytest.approx(sum(s.device_w.values()))
+
+
+def test_sampler_ascii_plot(traced_run):
+    _, _, sampler, _ = traced_run
+    plot = sampler.ascii_plot("gpu0", width=40, height=5)
+    assert plot.count("\n") == 6
+    assert "*" in plot
+
+
+def test_sampler_empty():
+    sim = Simulator()
+    node = build_platform("24-Intel-2-V100", sim)
+    rt = RuntimeSystem(node, seed=0)
+    sampler = PowerSampler(node, rt)
+    assert sampler.peak_w() == 0.0
+    assert sampler.average_w() == 0.0
+    assert sampler.ascii_plot("gpu0") == "(no samples)\n"

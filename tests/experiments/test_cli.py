@@ -1,0 +1,72 @@
+"""Tests for the command-line driver."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_prints_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out.split()
+    assert "fig1" in out and "table2" in out and len(out) == 8
+
+
+def test_run_single_experiment(capsys):
+    assert main(["table2", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "P_best_W" in out
+    assert "32-AMD-4-A100" in out
+
+
+def test_csv_output(capsys):
+    assert main(["table1", "--scale", "tiny", "--csv"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("GPU,precision,")
+    assert out.count(",") > 10
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig99"])
+
+
+def test_bad_scale_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig1", "--scale", "galactic"])
+
+
+def test_seed_flag(capsys):
+    assert main(["fig1", "--scale", "tiny", "--seed", "3"]) == 0
+    assert "best_cap_pct" in capsys.readouterr().out
+
+
+def test_sweep_command(capsys):
+    assert main(["sweep", "--model", "V100-PCIE-32GB", "--n", "2048",
+                 "--step-pct", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "best:" in out and "Gflop/s/W" in out
+
+
+def test_sweep_command_csv(capsys):
+    assert main(["sweep", "--n", "1024", "--step-pct", "25", "--csv"]) == 0
+    assert capsys.readouterr().out.startswith("cap_W,")
+
+
+def test_tradeoff_command_single_config(capsys):
+    assert main(["tradeoff", "--platform", "24-Intel-2-V100", "--config", "hb",
+                 "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "HB" in out and "HH" in out
+
+
+def test_tradeoff_command_full_ladder(capsys):
+    assert main(["tradeoff", "--platform", "24-Intel-2-V100", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    for config in ("LL", "HL", "HH", "HB", "BB"):
+        assert config in out
+
+
+def test_tradeoff_invalid_config_letters():
+    with pytest.raises(ValueError):
+        main(["tradeoff", "--config", "HX", "--scale", "tiny",
+              "--platform", "24-Intel-2-V100"])

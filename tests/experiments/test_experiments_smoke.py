@@ -1,0 +1,37 @@
+"""Smoke + shape tests for every experiment driver (tiny scale)."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.runner import ExperimentResult, check_scale
+
+
+def test_registry_covers_every_paper_artefact():
+    assert set(EXPERIMENTS) == {
+        "fig1", "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7",
+    }
+
+
+def test_check_scale():
+    assert check_scale("tiny") == "tiny"
+    with pytest.raises(ValueError):
+        check_scale("huge")
+
+
+@pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+def test_experiment_runs_and_produces_rows(name):
+    result = EXPERIMENTS[name](scale="tiny", seed=0)
+    assert isinstance(result, ExperimentResult)
+    assert result.rows, f"{name} produced no rows"
+    assert all(len(row) == len(result.headers) for row in result.rows)
+    text = result.table()
+    assert result.title in text
+    assert result.csv().count("\n") == len(result.rows) + 1
+
+
+def test_experiment_result_helpers():
+    r = ExperimentResult("x", "t", ["a", "b"], rows=[(1, 2), (3, 4)])
+    assert r.column("b") == [2, 4]
+    assert r.row_by("a", 3) == (3, 4)
+    with pytest.raises(KeyError):
+        r.row_by("a", 99)

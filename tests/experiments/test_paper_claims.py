@@ -1,0 +1,138 @@
+"""Shape tests against the paper's headline claims (small scale).
+
+These check *orderings and directions*, not absolute values: who wins per
+configuration, where the best cap falls, which way energy moves.  They are
+the automated version of EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import fig1_sweep, fig3_double, fig4_single, fig6_cpucap
+from repro.experiments.platforms import cap_states, operation_spec
+from repro.hardware.catalog import PLATFORMS, gpu_spec
+
+
+# ------------------------------------------------------------------- Fig. 1
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return fig1_sweep.run(scale="small")
+
+
+def test_fig1_best_cap_below_tdp(fig1):
+    for pct in fig1.column("best_cap_pct"):
+        assert 25 <= pct <= 90
+
+
+def test_fig1_largest_double_matches_table1(fig1):
+    row = [r for r in fig1.rows if r[0] == "double"][-1]
+    assert row[1] == 5120
+    assert row[2] == pytest.approx(54, abs=4)  # best cap % TDP
+    assert row[5] > 20  # efficiency saving %
+
+
+def test_fig1_single_has_lower_best_cap_than_double(fig1):
+    double = {r[1]: r[2] for r in fig1.rows if r[0] == "double"}
+    single = {r[1]: r[2] for r in fig1.rows if r[0] == "single"}
+    assert single[5120] < double[5120]
+
+
+def test_fig1_bigger_matrices_more_efficient(fig1):
+    for prec in ("double", "single"):
+        effs = [r[3] for r in fig1.rows if r[0] == prec]
+        assert effs == sorted(effs)
+
+
+def test_fig1_full_series_monotone_caps():
+    r = fig1_sweep.run(scale="tiny", full_series=True)
+    caps = [row[2] for row in r.rows if row[0] == "double" and row[1] == 1024]
+    assert caps == sorted(caps)
+
+
+# --------------------------------------------------------------- Figs. 3/4
+
+
+@pytest.fixture(scope="module")
+def fig3_4gpu():
+    return fig3_double.run(scale="small", platforms=["32-AMD-4-A100"])
+
+
+def _rows(result, op):
+    return {r[2]: r for r in result.rows if r[1] == op}
+
+
+def test_fig3_bbbb_best_efficiency_gemm(fig3_4gpu):
+    rows = _rows(fig3_4gpu, "gemm")
+    effs = {cfg: row[5] for cfg, row in rows.items()}
+    assert max(effs, key=effs.get) == "BBBB"
+    assert effs["BBBB"] / effs["HHHH"] > 1.12  # paper: ~+20 %
+
+
+def test_fig3_llll_catastrophic(fig3_4gpu):
+    row = _rows(fig3_4gpu, "gemm")["LLLL"]
+    assert row[3] < -70          # perf collapse (paper: -80 %)
+    assert row[4] < -30          # energy increase (paper: +60 %)
+
+
+def test_fig3_ladder_monotone_efficiency(fig3_4gpu):
+    """More B states -> more efficiency; more L states -> less."""
+    rows = _rows(fig3_4gpu, "gemm")
+    b_ladder = ["HHHH", "HHHB", "HHBB", "HBBB", "BBBB"]
+    effs = [rows[c][5] for c in b_ladder]
+    assert effs == sorted(effs)
+    l_ladder = ["HHHH", "HHHL", "HHLL", "HLLL", "LLLL"]
+    effs_l = [rows[c][5] for c in l_ladder]
+    assert effs_l == sorted(effs_l, reverse=True)
+
+
+def test_fig3_unbalanced_tradeoff(fig3_4gpu):
+    """HHBB: moderate slowdown, moderate saving (the paper's headline)."""
+    rows = _rows(fig3_4gpu, "gemm")
+    hhbb = rows["HHBB"]
+    bbbb = rows["BBBB"]
+    assert bbbb[3] < hhbb[3] < -3       # perf between default and all-B
+    assert 0 < hhbb[4] < bbbb[4]        # saving between default and all-B
+
+
+def test_fig4_single_bbbb_is_a_clear_win():
+    f4 = fig4_single.run(scale="small", platforms=["32-AMD-4-A100"])
+    rows = _rows(f4, "gemm")
+    gain = rows["BBBB"][5] / rows["HHHH"][5]
+    assert gain > 1.12  # paper: +33.78 % efficiency for sp GEMM
+    assert rows["BBBB"][5] > max(r[5] for c, r in rows.items() if c != "BBBB")
+
+
+# ------------------------------------------------------------------- Fig. 6
+
+
+def test_fig6_cpu_cap_improves_efficiency_without_perf_loss():
+    result = fig6_cpucap.run(scale="tiny")
+    for row in result.rows:
+        _, _, config, eff_gain, perf_impact = row
+        assert eff_gain > 0, f"{config}: no efficiency gain"
+        assert abs(perf_impact) < 5.0
+
+
+# ------------------------------------------------------- platform parameters
+
+
+def test_paper_cpu_cap_is_48_pct():
+    from repro.core.cpu_capping import PAPER_CPU_CAP
+    spec = PLATFORMS["24-Intel-2-V100"].cpu_specs()[1]
+    assert PAPER_CPU_CAP[1] / spec.tdp_w == pytest.approx(0.48)
+
+
+def test_operation_spec_scales():
+    tiny = operation_spec("32-AMD-4-A100", "gemm", "double", "tiny")
+    paper = operation_spec("32-AMD-4-A100", "gemm", "double", "paper")
+    assert tiny.nb == paper.nb == 5760
+    assert paper.n == 74880 and tiny.n < paper.n
+
+
+def test_cap_states_order():
+    s = cap_states("32-AMD-4-A100", "gemm", "double", "tiny")
+    spec = gpu_spec("A100-SXM4-40GB")
+    assert s.l_w == spec.cap_min_w
+    assert s.h_w == spec.cap_max_w
+    assert s.l_w < s.b_w < s.h_w

@@ -1,0 +1,78 @@
+"""Unit tests for the RAPL/PAPI facade."""
+
+import pytest
+
+from repro import rapl
+from repro.hardware.catalog import build_platform
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def intel_node():
+    sim = Simulator()
+    return build_platform("24-Intel-2-V100", sim)
+
+
+@pytest.fixture
+def amd_node():
+    sim = Simulator()
+    return build_platform("64-AMD-2-A100", sim)
+
+
+def test_package_energy_microjoules(intel_node):
+    sim = intel_node.clock
+    e0 = rapl.package_energy_uj(intel_node, 0)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    e1 = rapl.package_energy_uj(intel_node, 0)
+    assert e1 - e0 == pytest.approx(intel_node.cpus[0].spec.idle_w * 1e6, rel=1e-6)
+
+
+def test_bad_package_index(intel_node):
+    with pytest.raises(rapl.RAPLError):
+        rapl.package_energy_uj(intel_node, 5)
+
+
+def test_set_package_limit_on_intel(intel_node):
+    rapl.set_package_limit(intel_node, 1, 60.0)
+    assert intel_node.cpus[1].power_limit_w == 60.0
+
+
+def test_set_package_limit_on_amd_fails(amd_node):
+    """The paper could not cap the AMD EPYC packages; neither can we."""
+    with pytest.raises(rapl.RAPLError):
+        rapl.set_package_limit(amd_node, 0, 60.0)
+
+
+def test_set_limit_out_of_range(intel_node):
+    with pytest.raises(rapl.RAPLError):
+        rapl.set_package_limit(intel_node, 0, 5.0)
+
+
+def test_papi_counter_protocol(intel_node):
+    sim = intel_node.clock
+    counter = rapl.PAPIEnergyCounter(intel_node)
+    counter.start()
+    sim.schedule(3.0, lambda: None)
+    sim.run()
+    joules = counter.stop()
+    assert len(joules) == 2
+    for j, cpu in zip(joules, intel_node.cpus):
+        assert j == pytest.approx(3.0 * cpu.spec.idle_w, rel=1e-6)
+
+
+def test_papi_counter_stop_without_start(intel_node):
+    counter = rapl.PAPIEnergyCounter(intel_node)
+    with pytest.raises(rapl.RAPLError):
+        counter.stop()
+
+
+def test_papi_counter_reusable(intel_node):
+    sim = intel_node.clock
+    counter = rapl.PAPIEnergyCounter(intel_node)
+    counter.start()
+    counter.stop()
+    counter.start()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert counter.stop()[0] > 0

@@ -1,0 +1,104 @@
+"""Unit tests for the CPU package model."""
+
+import pytest
+
+from repro.hardware.catalog import EPYC_7452, XEON_GOLD_6126
+from repro.hardware.cpu import CoreAccountingError, CPUPackage
+from repro.hardware.gpu import PowerLimitError
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def cpu(sim):
+    return CPUPackage(XEON_GOLD_6126, 0, sim)
+
+
+def test_idle_power_is_spec_idle(cpu):
+    assert cpu.power_w == XEON_GOLD_6126.idle_w
+
+
+def test_busy_cores_add_power(cpu):
+    cpu.begin_core()
+    p1 = cpu.power_w
+    cpu.begin_core()
+    p2 = cpu.power_w
+    assert p2 > p1 > XEON_GOLD_6126.idle_w
+    assert p2 - p1 == pytest.approx(XEON_GOLD_6126.per_core_w)
+
+
+def test_all_cores_busy_draws_tdp(cpu):
+    for _ in range(XEON_GOLD_6126.n_cores):
+        cpu.begin_core()
+    assert cpu.power_w == pytest.approx(XEON_GOLD_6126.tdp_w)
+
+
+def test_too_many_busy_cores_raises(cpu):
+    for _ in range(XEON_GOLD_6126.n_cores):
+        cpu.begin_core()
+    with pytest.raises(CoreAccountingError):
+        cpu.begin_core()
+
+
+def test_end_core_without_begin_raises(cpu):
+    with pytest.raises(CoreAccountingError):
+        cpu.end_core()
+
+
+def test_cap_reduces_frequency_and_power(cpu):
+    cpu.begin_core()
+    p_uncapped = cpu.power_w
+    cpu.set_power_limit(60.0)
+    assert cpu.freq_scale < 1.0
+    assert cpu.power_w < p_uncapped
+
+
+def test_paper_48pct_cap_frequency(cpu):
+    """The paper caps one Xeon at 60 W of 125 W (48 % TDP)."""
+    cpu.set_power_limit(60.0)
+    assert cpu.freq_scale == pytest.approx(((60 - 20) / 105) ** (1 / 3))
+    assert cpu.power_limit_fraction() == pytest.approx(0.48)
+
+
+def test_capped_package_respects_cap_at_full_load(cpu):
+    cpu.set_power_limit(60.0)
+    for _ in range(XEON_GOLD_6126.n_cores):
+        cpu.begin_core()
+    assert cpu.power_w <= 60.0 + 1e-9
+
+
+def test_amd_capping_unsupported(sim):
+    cpu = CPUPackage(EPYC_7452, 0, sim)
+    with pytest.raises(PowerLimitError):
+        cpu.set_power_limit(100.0)
+
+
+def test_cap_out_of_range(cpu):
+    with pytest.raises(PowerLimitError):
+        cpu.set_power_limit(10.0)
+
+
+def test_energy_integrates_occupancy_changes(sim, cpu):
+    sim.schedule(1.0, cpu.begin_core)
+    sim.schedule(3.0, cpu.end_core)
+    sim.schedule(4.0, lambda: None)
+    sim.run()
+    expected = 4.0 * XEON_GOLD_6126.idle_w + 2.0 * XEON_GOLD_6126.per_core_w
+    assert cpu.energy_j() == pytest.approx(expected)
+
+
+def test_core_gflops_scale_with_cap(cpu):
+    full = cpu.core_gflops("double")
+    cpu.set_power_limit(60.0)
+    assert cpu.core_gflops("double") == pytest.approx(full * cpu.freq_scale)
+
+
+def test_reset_energy(sim, cpu):
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    cpu.reset_energy()
+    assert cpu.energy_j() == 0.0

@@ -1,0 +1,107 @@
+"""Unit tests for the stateful GPU device."""
+
+import pytest
+
+from repro.hardware.catalog import gpu_spec
+from repro.hardware.gpu import DeviceBusyError, GPUDevice, PowerLimitError
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def gpu(sim):
+    return GPUDevice(gpu_spec("A100-SXM4-40GB"), 0, sim)
+
+
+def test_default_limit_is_max(gpu):
+    assert gpu.power_limit_w == gpu.spec.cap_max_w
+
+
+def test_set_power_limit_in_range(gpu):
+    gpu.set_power_limit(216.0)
+    assert gpu.power_limit_w == 216.0
+    assert gpu.power_limit_fraction() == pytest.approx(0.54)
+
+
+@pytest.mark.parametrize("watts", [50.0, 99.9, 400.1, 1000.0])
+def test_set_power_limit_out_of_range(gpu, watts):
+    with pytest.raises(PowerLimitError):
+        gpu.set_power_limit(watts)
+
+
+def test_idle_energy_integrates_idle_power(sim, gpu):
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    assert gpu.energy_j() == pytest.approx(10.0 * gpu.spec.idle_w)
+
+
+def test_busy_energy_integrates_kernel_power(sim, gpu):
+    gpu.begin_kernel("double", activity=1.0)
+    p_busy = gpu.power_w
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    gpu.end_kernel()
+    assert gpu.energy_j() == pytest.approx(2.0 * p_busy)
+    assert gpu.power_w == gpu.spec.idle_w
+
+
+def test_begin_kernel_returns_capped_frequency(gpu):
+    f_uncapped = gpu.begin_kernel("double")
+    gpu.end_kernel()
+    gpu.set_power_limit(150.0)
+    f_capped = gpu.begin_kernel("double")
+    gpu.end_kernel()
+    assert f_capped < f_uncapped <= 1.0
+
+
+def test_double_begin_raises(gpu):
+    gpu.begin_kernel("double")
+    with pytest.raises(DeviceBusyError):
+        gpu.begin_kernel("double")
+
+
+def test_end_without_begin_raises(gpu):
+    with pytest.raises(RuntimeError):
+        gpu.end_kernel()
+
+
+def test_cap_reduces_busy_power_and_perf(gpu):
+    p_full = gpu.busy_power("double")
+    s_full = gpu.perf_scale("double")
+    gpu.set_power_limit(150.0)
+    assert gpu.busy_power("double") < p_full
+    assert gpu.perf_scale("double") < s_full
+
+
+def test_busy_power_never_exceeds_cap_when_enforceable(gpu):
+    """The cap invariant: for caps above the power floor, busy power <= cap."""
+    for cap in (150.0, 216.0, 300.0, 400.0):
+        gpu.set_power_limit(cap)
+        for prec in ("single", "double"):
+            floor = gpu.spec.power_profiles[prec].floor_power()
+            if floor <= cap:
+                assert gpu.busy_power(prec) <= cap + 1e-6
+
+
+def test_reset_energy(sim, gpu):
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    gpu.reset_energy()
+    assert gpu.energy_j() == 0.0
+
+
+def test_energy_resumes_after_reset(sim, gpu):
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    gpu.reset_energy()
+    sim.schedule(3.0, lambda: None)
+    sim.run()
+    assert gpu.energy_j() == pytest.approx(3.0 * gpu.spec.idle_w)
+
+
+def test_perf_scale_uncapped_is_one(gpu):
+    assert gpu.perf_scale("double") == pytest.approx(1.0)

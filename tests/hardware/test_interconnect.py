@@ -1,0 +1,69 @@
+"""Unit tests for the interconnect link model."""
+
+import pytest
+
+from repro.hardware.interconnect import Link
+from repro.hardware.specs import LinkSpec
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def link(sim):
+    return Link(LinkSpec(name="pcie", bandwidth_gbs=10.0, latency_s=1e-5), sim)
+
+
+def test_transfer_time_includes_latency():
+    spec = LinkSpec(name="l", bandwidth_gbs=10.0, latency_s=1e-5)
+    assert spec.transfer_time(10_000_000_000) == pytest.approx(1.0 + 1e-5)
+    assert spec.transfer_time(0) == 0.0
+
+
+def test_transfer_time_negative_rejected():
+    spec = LinkSpec(name="l", bandwidth_gbs=10.0)
+    with pytest.raises(ValueError):
+        spec.transfer_time(-1)
+
+
+def test_same_direction_serialises(link):
+    s1, e1 = link.reserve(1_000_000_000, "h2d")
+    s2, e2 = link.reserve(1_000_000_000, "h2d")
+    assert s2 == pytest.approx(e1)
+    assert e2 > e1
+
+
+def test_opposite_directions_independent(link):
+    _, e1 = link.reserve(1_000_000_000, "h2d")
+    s2, _ = link.reserve(1_000_000_000, "d2h")
+    assert s2 == 0.0  # no queueing behind the h2d stream
+
+
+def test_estimate_accounts_for_queue(link):
+    link.reserve(1_000_000_000, "h2d")
+    est = link.estimate(1_000_000_000, "h2d")
+    single = link.spec.transfer_time(1_000_000_000)
+    assert est == pytest.approx(single * 2)
+
+
+def test_bad_direction_rejected(link):
+    with pytest.raises(ValueError):
+        link.reserve(10, "sideways")
+
+
+def test_counters(link):
+    link.reserve(100, "h2d")
+    link.reserve(200, "h2d")
+    link.reserve(300, "d2h")
+    assert link.bytes_moved == {"h2d": 300, "d2h": 300}
+    assert link.n_transfers == {"h2d": 2, "d2h": 1}
+
+
+def test_reservation_starts_no_earlier_than_now(sim, link):
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    s, _ = link.reserve(1000, "h2d")
+    assert s >= 5.0

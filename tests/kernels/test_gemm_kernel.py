@@ -1,0 +1,124 @@
+"""Unit tests for the cuBLAS-style GEMM model."""
+
+import pytest
+
+from repro.hardware.catalog import gpu_spec
+from repro.hardware.gpu import GPUDevice
+from repro.kernels import GemmKernel
+from repro.kernels.roofline import roofline_time
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def gpu():
+    return GPUDevice(gpu_spec("A100-SXM4-40GB"), 0, Simulator())
+
+
+def test_flops_formula():
+    k = GemmKernel(100, 200, 300, "double")
+    assert k.flops == 2 * 100 * 200 * 300
+
+
+def test_square_constructor():
+    k = GemmKernel.square(512, "single")
+    assert (k.m, k.n, k.k) == (512, 512, 512)
+
+
+def test_invalid_dimensions():
+    with pytest.raises(ValueError):
+        GemmKernel(0, 10, 10, "double")
+
+
+def test_invalid_precision():
+    with pytest.raises(ValueError):
+        GemmKernel(10, 10, 10, "half")
+
+
+def test_traffic_scales_with_dtype():
+    d = GemmKernel.square(1024, "double").traffic_bytes
+    s = GemmKernel.square(1024, "single").traffic_bytes
+    assert d == pytest.approx(2 * s)
+
+
+def test_utilization_increases_with_size(gpu):
+    spec = gpu.spec
+    utils = [GemmKernel.square(n, "double").utilization(spec) for n in (256, 1024, 4096, 8192)]
+    assert all(a < b for a, b in zip(utils, utils[1:]))
+    assert utils[-1] <= 1.0
+
+
+def test_large_gemm_near_full_activity(gpu):
+    act = GemmKernel.square(16384, "double").activity(gpu.spec)
+    assert act > 0.9
+
+
+def test_time_positive_and_decreasing_with_cap_removal(gpu):
+    k = GemmKernel.square(5120, "double")
+    gpu.set_power_limit(150.0)
+    t_capped = k.time_on_gpu(gpu)
+    gpu.set_power_limit(400.0)
+    t_full = k.time_on_gpu(gpu)
+    assert 0 < t_full < t_capped
+
+
+def test_gflops_consistent_with_time(gpu):
+    k = GemmKernel.square(4096, "double")
+    assert k.gflops_on_gpu(gpu) == pytest.approx(k.flops / k.time_on_gpu(gpu) / 1e9)
+
+
+def test_efficiency_is_gflops_per_watt(gpu):
+    k = GemmKernel.square(4096, "double")
+    assert k.efficiency_on_gpu(gpu) == pytest.approx(
+        k.gflops_on_gpu(gpu) / k.power_on_gpu(gpu)
+    )
+
+
+def test_energy_is_time_times_power(gpu):
+    k = GemmKernel.square(2048, "single")
+    assert k.energy_on_gpu(gpu) == pytest.approx(k.time_on_gpu(gpu) * k.power_on_gpu(gpu))
+
+
+def test_power_under_cap_respects_cap(gpu):
+    gpu.set_power_limit(216.0)
+    k = GemmKernel.square(5120, "double")
+    assert k.power_on_gpu(gpu) <= 216.0 + 1e-9
+
+
+def test_small_matrix_draws_less_power(gpu):
+    big = GemmKernel.square(8192, "double").power_on_gpu(gpu)
+    small = GemmKernel.square(512, "double").power_on_gpu(gpu)
+    assert small < big
+
+
+def test_fig1_shape_interior_optimum(gpu):
+    """Efficiency peaks strictly below TDP and above the minimum cap."""
+    spec = gpu.spec
+    k = GemmKernel.square(5120, "double")
+    best_cap, best_eff = None, -1.0
+    for pct in range(26, 101, 2):
+        cap = max(spec.cap_min_w, spec.tdp_w * pct / 100)
+        gpu.set_power_limit(cap)
+        eff = k.efficiency_on_gpu(gpu)
+        if eff > best_eff:
+            best_cap, best_eff = cap, eff
+    assert spec.cap_min_w < best_cap < spec.tdp_w
+    assert best_cap / spec.tdp_w == pytest.approx(0.54, abs=0.04)
+
+
+def test_bigger_matrices_more_efficient(gpu):
+    """Paper: 'Bigger matrix sizes tend to have better energy efficiency'."""
+    effs = [GemmKernel.square(n, "double").efficiency_on_gpu(gpu) for n in (1024, 2048, 5120)]
+    assert effs[0] < effs[1] < effs[2]
+
+
+def test_roofline_memory_bound_floor():
+    # 1 flop per 1000 bytes: memory stream dominates
+    t = roofline_time(1e6, 1e9, gflops=1000.0, bw_gbs=100.0)
+    assert t == pytest.approx(1e9 / 100e9)
+
+
+def test_roofline_validates_inputs():
+    with pytest.raises(ValueError):
+        roofline_time(-1, 0, 1, 1)
+    with pytest.raises(ValueError):
+        roofline_time(1, 1, 0, 1)

@@ -1,0 +1,69 @@
+"""Tests for the memory-bound STREAM kernel model."""
+
+import pytest
+
+from repro.hardware.catalog import gpu_spec
+from repro.hardware.gpu import GPUDevice
+from repro.kernels.stream import BW_KNEE, StreamKernel
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def gpu():
+    return GPUDevice(gpu_spec("A100-SXM4-40GB"), 0, Simulator())
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        StreamKernel(0, "double")
+    with pytest.raises(ValueError):
+        StreamKernel(100, "half")
+
+
+def test_work_and_traffic():
+    k = StreamKernel(1_000_000, "double")
+    assert k.flops == 2e6
+    assert k.traffic_bytes == 24e6
+
+
+def test_uncapped_achieves_peak_bandwidth(gpu):
+    k = StreamKernel(100_000_000, "double")
+    assert k.bandwidth_on_gpu(gpu) == pytest.approx(gpu.spec.mem_bw_gbs, rel=0.01)
+
+
+def test_moderate_cap_is_free(gpu):
+    """Capping to the best-GEMM cap barely touches STREAM throughput."""
+    k = StreamKernel(100_000_000, "double")
+    t_full = k.time_on_gpu(gpu)
+    gpu.set_power_limit(216.0)
+    assert k.time_on_gpu(gpu) == pytest.approx(t_full, rel=0.01)
+
+
+def test_capping_improves_stream_efficiency_monotonically(gpu):
+    """Down to the bandwidth knee, every watt removed is pure efficiency."""
+    k = StreamKernel(100_000_000, "double")
+    effs = []
+    for cap in (400.0, 300.0, 216.0, 150.0):
+        gpu.set_power_limit(cap)
+        f = gpu.effective_freq("double", 0.35)
+        if f >= BW_KNEE:
+            effs.append(k.efficiency_on_gpu(gpu))
+    assert effs == sorted(effs)
+    assert effs[-1] > effs[0] * 1.3
+
+
+def test_extreme_cap_finally_degrades_bandwidth(gpu):
+    k = StreamKernel(100_000_000, "double")
+    gpu.set_power_limit(100.0)
+    f = gpu.effective_freq("double", 0.35)
+    if f < BW_KNEE:
+        assert k.bandwidth_on_gpu(gpu) < gpu.spec.mem_bw_gbs * 0.999
+
+
+def test_power_well_below_gemm_power(gpu):
+    stream_w = StreamKernel(1_000_000, "double").power_on_gpu(gpu)
+    from repro.kernels.gemm import GemmKernel
+
+    gemm_w = GemmKernel.square(5120, "double").power_on_gpu(gpu)
+    # HBM traffic keeps STREAM power high on A100s, but clearly below GEMM.
+    assert stream_w < gemm_w * 0.9

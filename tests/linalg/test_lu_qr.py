@@ -1,0 +1,132 @@
+"""Tests for the tiled LU (no pivoting) and tile QR factorisations."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.catalog import build_platform
+from repro.linalg import (
+    TileMatrix,
+    assign_priorities,
+    build_geqrf,
+    build_getrf,
+    geqrf_graph,
+    geqrf_task_count,
+    getrf_graph,
+    getrf_task_count,
+)
+from repro.linalg.numeric import (
+    dominant_matrix,
+    execute_numeric,
+    verify_geqrf,
+    verify_getrf,
+)
+from repro.runtime import RuntimeSystem
+from repro.runtime.graph import TaskGraph
+from repro.sim import Simulator
+
+
+# --------------------------------------------------------------- structure
+
+
+@pytest.mark.parametrize("nt", [1, 2, 3, 5, 8])
+def test_getrf_task_count_formula(nt):
+    g, _ = getrf_graph(16 * nt, 16, "double")
+    assert len(g) == getrf_task_count(nt) == nt * (nt + 1) * (2 * nt + 1) // 6
+
+
+@pytest.mark.parametrize("nt", [1, 2, 3, 5, 8])
+def test_geqrf_task_count_formula(nt):
+    g, _ = geqrf_graph(16 * nt, 16, "double")
+    assert len(g) == geqrf_task_count(nt)
+
+
+def test_getrf_rejects_symmetric():
+    a = TileMatrix(64, 16, "double", symmetric=True)
+    with pytest.raises(ValueError):
+        build_getrf(TaskGraph(), a)
+
+
+def test_geqrf_rejects_symmetric():
+    a = TileMatrix(64, 16, "double", symmetric=True)
+    with pytest.raises(ValueError):
+        build_geqrf(TaskGraph(), a)
+
+
+def test_getrf_single_root():
+    g, _ = getrf_graph(16 * 4, 16, "double")
+    roots = g.roots()
+    assert len(roots) == 1 and roots[0].op.kind == "getrf"
+
+
+def test_geqrf_kinds_present():
+    g, _ = geqrf_graph(16 * 4, 16, "double")
+    counts = g.counts_by_kind()
+    assert set(counts) == {"geqrt", "ormqr", "tsqrt", "tsmqr"}
+    assert counts["geqrt"] == 4
+    assert counts["tsmqr"] == sum((4 - k - 1) ** 2 for k in range(4))
+
+
+# ----------------------------------------------------------------- numeric
+
+
+@pytest.mark.parametrize("nt", [1, 2, 4, 6])
+def test_getrf_numeric_correct(nt):
+    g, a = getrf_graph(8 * nt, 8, "double")
+    original = a.materialize(dominant_matrix(8 * nt, np.random.default_rng(nt))).copy()
+    execute_numeric(g)
+    assert verify_getrf(a, original, rtol=1e-9) < 1e-9
+
+
+@pytest.mark.parametrize("nt", [1, 2, 4, 6])
+def test_geqrf_numeric_correct(nt):
+    g, a = geqrf_graph(8 * nt, 8, "double")
+    original = a.materialize(rng=np.random.default_rng(nt)).copy()
+    execute_numeric(g)
+    assert verify_geqrf(a, original, rtol=1e-8) < 1e-8
+
+
+def test_verify_getrf_catches_corruption():
+    g, a = getrf_graph(16, 8, "double")
+    original = a.materialize(dominant_matrix(16)).copy()
+    execute_numeric(g)
+    a.array[0, 0] *= 2.0
+    with pytest.raises(Exception):
+        verify_getrf(a, original, rtol=1e-9)
+
+
+# ------------------------------------------------------------ runtime runs
+
+
+@pytest.mark.parametrize("builder", ["getrf", "geqrf"])
+def test_lu_qr_run_through_runtime(builder):
+    sim = Simulator()
+    node = build_platform("24-Intel-2-V100", sim)
+    rt = RuntimeSystem(node, scheduler="dmdas", seed=1)
+    if builder == "getrf":
+        graph, _ = getrf_graph(1440 * 6, 1440, "double")
+    else:
+        graph, _ = geqrf_graph(1440 * 6, 1440, "double")
+    assign_priorities(graph)
+    res = rt.run(graph)
+    assert res.n_tasks == len(graph)
+    # Panel kernels (CPU-only codelets) must land on CPU workers.
+    cpu_tasks = sum(n for w, n in res.worker_tasks.items() if w.startswith("cpu"))
+    assert cpu_tasks > 0
+
+
+def test_capping_tradeoff_holds_for_lu():
+    """The paper's BBBB trade-off extends to the LU factorisation."""
+    def run(caps):
+        sim = Simulator()
+        node = build_platform("32-AMD-4-A100", sim)
+        if caps:
+            node.set_gpu_caps(caps)
+        rt = RuntimeSystem(node, scheduler="dmdas", seed=1)
+        graph, _ = getrf_graph(2880 * 14, 2880, "double")
+        assign_priorities(graph)
+        return rt.run(graph)
+
+    base = run(None)
+    capped = run([216.0] * 4)
+    assert capped.gflops_per_watt > base.gflops_per_watt
+    assert capped.total_energy_j < base.total_energy_j

@@ -1,0 +1,65 @@
+"""Tests for the mixed-precision GEMM extension."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.catalog import build_platform
+from repro.linalg import assign_priorities, gemm_mixed_graph
+from repro.linalg.mixed import expected_single_tasks
+from repro.linalg.numeric import execute_numeric
+from repro.runtime import RuntimeSystem
+from repro.sim import Simulator
+
+
+def test_fraction_validation():
+    with pytest.raises(ValueError):
+        gemm_mixed_graph(64, 16, single_fraction=1.5)
+
+
+@pytest.mark.parametrize("fraction", [0.0, 0.25, 0.5, 1.0])
+def test_task_precision_split(fraction):
+    g, *_ = gemm_mixed_graph(16 * 4, 16, fraction)
+    singles = sum(1 for t in g.tasks if t.op.precision == "single")
+    assert singles == expected_single_tasks(4, fraction)
+    assert len(g) == 64
+
+
+def test_fraction_zero_equals_pure_double():
+    g, *_ = gemm_mixed_graph(16 * 3, 16, 0.0)
+    assert all(t.op.precision == "double" for t in g.tasks)
+
+
+def _numeric_error(fraction, n=64, nb=16, seed=0):
+    g, a, b, c = gemm_mixed_graph(n, nb, fraction)
+    rng = np.random.default_rng(seed)
+    a0 = a.materialize(rng=rng).copy()
+    b0 = b.materialize(rng=rng).copy()
+    c0 = c.materialize(np.zeros((n, n))).copy()
+    execute_numeric(g)
+    ref = c0 + a0 @ b0
+    return float(np.linalg.norm(c.array - ref) / np.linalg.norm(ref))
+
+
+def test_numeric_error_grows_with_single_fraction():
+    errs = [_numeric_error(f) for f in (0.0, 0.5, 1.0)]
+    assert errs[0] < 1e-14                  # pure double: exact to fp64
+    assert errs[0] < errs[1] < errs[2]      # more single, more error
+    assert errs[2] < 1e-4                   # still single-precision accurate
+
+
+def test_mixed_precision_saves_energy():
+    """The future-work trade-off: demoting updates buys efficiency."""
+    def run(fraction):
+        sim = Simulator()
+        node = build_platform("32-AMD-4-A100", sim)
+        rt = RuntimeSystem(node, scheduler="dmdas", seed=1)
+        g, *_ = gemm_mixed_graph(5760 * 6, 5760, fraction)
+        assign_priorities(g)
+        return rt.run(g)
+
+    pure = run(0.0)
+    mixed = run(0.5)
+    full_single = run(1.0)
+    assert mixed.total_energy_j < pure.total_energy_j
+    assert full_single.total_energy_j < mixed.total_energy_j
+    assert full_single.makespan_s < pure.makespan_s

@@ -1,0 +1,96 @@
+"""Unit tests for the tile-matrix descriptor."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import TileMatrix
+
+
+def test_geometry():
+    m = TileMatrix(1024, 256, "double")
+    assert m.nt == 4
+    assert m.total_bytes == 1024 * 1024 * 8
+
+
+def test_indivisible_tile_size_rejected():
+    with pytest.raises(ValueError):
+        TileMatrix(1000, 256, "double")
+
+
+def test_nonpositive_sizes_rejected():
+    with pytest.raises(ValueError):
+        TileMatrix(0, 16, "double")
+    with pytest.raises(ValueError):
+        TileMatrix(64, -1, "double")
+
+
+def test_handles_cached_and_labelled():
+    m = TileMatrix(512, 256, "double", label="X")
+    h = m.handle(1, 0)
+    assert m.handle(1, 0) is h
+    assert h.label == "X[1,0]"
+    assert h.nbytes == 256 * 256 * 8
+    assert m.n_handles == 1
+
+
+def test_handle_bounds_checked():
+    m = TileMatrix(512, 256, "double")
+    with pytest.raises(IndexError):
+        m.handle(2, 0)
+
+
+def test_symmetric_upper_triangle_rejected():
+    m = TileMatrix(512, 256, "double", symmetric=True)
+    m.handle(1, 0)  # lower: fine
+    with pytest.raises(IndexError):
+        m.handle(0, 1)
+
+
+def test_symmetric_total_bytes_lower_storage():
+    m = TileMatrix(1024, 256, "double", symmetric=True)
+    assert m.total_bytes == 10 * 256 * 256 * 8  # nt(nt+1)/2 tiles
+
+
+def test_single_precision_tile_bytes():
+    m = TileMatrix(512, 256, "single")
+    assert m.handle(0, 0).nbytes == 256 * 256 * 4
+
+
+def test_materialize_random_and_tile_views():
+    m = TileMatrix(512, 256, "double")
+    arr = m.materialize(rng=np.random.default_rng(1))
+    assert arr.shape == (512, 512)
+    t = m.tile(1, 1)
+    assert np.shares_memory(t, m.array)
+    assert t.shape == (256, 256)
+
+
+def test_materialize_explicit_array_copied():
+    m = TileMatrix(4, 2, "double")
+    src = np.arange(16, dtype=float).reshape(4, 4)
+    m.materialize(src)
+    src[0, 0] = 999
+    assert m.array[0, 0] == 0.0
+
+
+def test_materialize_shape_mismatch():
+    m = TileMatrix(4, 2, "double")
+    with pytest.raises(ValueError):
+        m.materialize(np.zeros((3, 3)))
+
+
+def test_materialize_spd_is_positive_definite():
+    m = TileMatrix(64, 16, "double", symmetric=True)
+    a = m.materialize_spd(np.random.default_rng(2))
+    np.linalg.cholesky(a)  # raises if not SPD
+
+
+def test_tile_before_materialize_raises():
+    m = TileMatrix(4, 2, "double")
+    with pytest.raises(RuntimeError):
+        m.tile(0, 0)
+
+
+def test_dtype_mapping():
+    assert TileMatrix(4, 2, "single").dtype == np.float32
+    assert TileMatrix(4, 2, "double").dtype == np.float64

@@ -1,0 +1,104 @@
+"""Property-based tests: energy integration exactness and numeric linalg."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.catalog import XEON_GOLD_6126, gpu_spec
+from repro.hardware.cpu import CPUPackage
+from repro.hardware.gpu import GPUDevice
+from repro.linalg import gemm_graph, potrf_graph
+from repro.linalg.numeric import execute_numeric, verify_gemm, verify_potrf
+from repro.sim import Simulator
+
+
+@st.composite
+def kernel_schedules(draw):
+    """Alternating busy/idle segments with random durations and caps."""
+    n = draw(st.integers(1, 8))
+    segments = []
+    for _ in range(n):
+        segments.append(
+            (
+                draw(st.floats(0.01, 2.0)),  # busy duration
+                draw(st.floats(0.0, 1.0)),   # idle duration after
+                draw(st.floats(100.0, 400.0)),  # cap during the kernel
+                draw(st.sampled_from(["single", "double"])),
+                draw(st.floats(0.1, 1.0)),   # activity
+            )
+        )
+    return segments
+
+
+@settings(max_examples=50, deadline=None)
+@given(kernel_schedules())
+def test_gpu_energy_equals_manual_integral(segments):
+    sim = Simulator()
+    gpu = GPUDevice(gpu_spec("A100-SXM4-40GB"), 0, sim)
+    expected = 0.0
+    for busy, idle, cap, precision, activity in segments:
+        gpu.set_power_limit(cap)
+        gpu.begin_kernel(precision, activity)
+        p_busy = gpu.power_w
+        sim.schedule(busy, gpu.end_kernel)
+        sim.run()
+        expected += p_busy * busy
+        if idle:
+            sim.schedule(idle, lambda: None)
+            sim.run()
+            expected += gpu.spec.idle_w * idle
+    assert gpu.energy_j() == pytest.approx(expected, rel=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(kernel_schedules())
+def test_gpu_power_never_exceeds_enforceable_cap(segments):
+    sim = Simulator()
+    gpu = GPUDevice(gpu_spec("A100-SXM4-40GB"), 0, sim)
+    for busy, _, cap, precision, activity in segments:
+        gpu.set_power_limit(cap)
+        gpu.begin_kernel(precision, activity)
+        floor = gpu.spec.power_profiles[precision].floor_power(activity)
+        if floor <= cap:
+            assert gpu.power_w <= cap * (1 + 1e-9)
+        sim.schedule(busy, gpu.end_kernel)
+        sim.run()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.tuples(st.floats(0.01, 1.0), st.integers(0, 3)), min_size=1, max_size=12)
+)
+def test_cpu_energy_integral_with_occupancy(spans):
+    sim = Simulator()
+    cpu = CPUPackage(XEON_GOLD_6126, 0, sim)
+    expected = 0.0
+    for duration, n_busy in spans:
+        for _ in range(n_busy):
+            cpu.begin_core()
+        p = cpu.power_w
+        sim.schedule(duration, lambda: None)
+        sim.run()
+        expected += p * duration
+        for _ in range(n_busy):
+            cpu.end_core()
+    assert cpu.energy_j() == pytest.approx(expected, rel=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(1, 6), st.integers(0, 1000))
+def test_potrf_numeric_any_shape_and_seed(nt, seed):
+    graph, a = potrf_graph(8 * nt, 8, "double")
+    original = a.materialize_spd(np.random.default_rng(seed)).copy()
+    execute_numeric(graph)
+    assert verify_potrf(a, original, rtol=1e-8) < 1e-8
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(1, 5), st.integers(0, 1000))
+def test_gemm_numeric_any_shape_and_seed(nt, seed):
+    graph, a, b, c = gemm_graph(8 * nt, 8, "double")
+    rng = np.random.default_rng(seed)
+    a0, b0, c0 = (m.materialize(rng=rng).copy() for m in (a, b, c))
+    execute_numeric(graph)
+    assert verify_gemm(c, a0, b0, c0, rtol=1e-8) < 1e-8

@@ -1,0 +1,237 @@
+"""Unit tests for scheduling policies (pure scheduling logic, no engine)."""
+
+import pytest
+
+from repro.hardware.catalog import build_platform
+from repro.kernels.tile_kernels import TileOp
+from repro.runtime.data import AccessMode, DataHandle, DataManager
+from repro.runtime.graph import TaskGraph
+from repro.runtime.perfmodel import PerfModelSet
+from repro.runtime.schedulers import SCHEDULERS, make_scheduler
+from repro.runtime.worker import GPUWorker, build_workers
+from repro.sim import RNGPool, Simulator
+
+
+OP = TileOp("gemm", 512, "double")
+
+
+@pytest.fixture
+def setup():
+    node = build_platform("24-Intel-2-V100", Simulator())
+    workers = build_workers(node)
+    perf = PerfModelSet()
+    # Calibrate: GPUs fast, CPUs slow.
+    for arch in ("cuda0", "cuda1"):
+        perf.record(OP, arch, 0.001)
+    for arch in ("cpu0", "cpu1"):
+        perf.record(OP, arch, 0.1)
+    data = DataManager(node)
+    rng = RNGPool(0).stream("sched")
+    return node, workers, perf, data, rng
+
+
+def _task(prio=0):
+    g = TaskGraph()
+    return g.add_task(OP, [(DataHandle(512 * 512 * 8), AccessMode.RW)], priority=prio)
+
+
+def test_factory_knows_all_policies(setup):
+    _, workers, perf, data, rng = setup
+    for name in SCHEDULERS:
+        s = make_scheduler(name, workers, perf, data, rng)
+        assert s.has_pending() is False
+
+
+def test_factory_unknown_name(setup):
+    _, workers, perf, data, rng = setup
+    with pytest.raises(KeyError):
+        make_scheduler("heft-9000", workers, perf, data, rng)
+
+
+def test_scheduler_requires_workers(setup):
+    _, _, perf, data, rng = setup
+    with pytest.raises(ValueError):
+        make_scheduler("eager", [], perf, data, rng)
+
+
+def test_eager_fifo_order(setup):
+    _, workers, perf, data, rng = setup
+    s = make_scheduler("eager", workers, perf, data, rng)
+    t1, t2 = _task(), _task()
+    s.push_ready(t1, 0.0)
+    s.push_ready(t2, 0.0)
+    assert s.pop(workers[0], 0.0) is t1
+    assert s.pop(workers[3], 0.0) is t2
+    assert s.pop(workers[0], 0.0) is None
+    assert not s.has_pending()
+
+
+def test_random_assignment_covers_workers(setup):
+    _, workers, perf, data, rng = setup
+    s = make_scheduler("random", workers, perf, data, rng)
+    for _ in range(200):
+        s.push_ready(_task(), 0.0)
+    nonempty = sum(1 for q in s._queues.values() if q)
+    assert nonempty > len(workers) / 2  # spread out
+
+
+def test_ws_steals_from_longest_queue(setup):
+    _, workers, perf, data, rng = setup
+    s = make_scheduler("ws", workers, perf, data, rng)
+    tasks = [_task() for _ in range(len(workers) + 3)]
+    for t in tasks:
+        s.push_ready(t, 0.0)
+    # Drain everything through a single worker: must steal.
+    popped = []
+    while True:
+        t = s.pop(workers[0], 0.0)
+        if t is None:
+            break
+        popped.append(t)
+    assert len(popped) == len(tasks)
+
+
+def test_dm_prefers_fast_workers(setup):
+    _, workers, perf, data, rng = setup
+    s = make_scheduler("dm", workers, perf, data, rng)
+    for _ in range(20):
+        s.push_ready(_task(), 0.0)
+    gpu_tasks = sum(len(s._queues[w.name]) for w in workers if isinstance(w, GPUWorker))
+    assert gpu_tasks == 20  # CPUs are 100x slower: everything goes to GPUs
+
+
+def test_dm_balances_across_equal_gpus(setup):
+    _, workers, perf, data, rng = setup
+    s = make_scheduler("dm", workers, perf, data, rng)
+    for _ in range(10):
+        s.push_ready(_task(), 0.0)
+    q0 = len(s._queues[workers[0].name])
+    q1 = len(s._queues[workers[1].name])
+    assert q0 == q1 == 5  # backlog term alternates placement
+
+
+def test_dm_adapts_to_capped_gpu(setup):
+    """Slower (capped) GPU must receive fewer tasks — the paper's mechanism."""
+    _, workers, perf, data, rng = setup
+    perf2 = PerfModelSet()
+    perf2.record(OP, "cuda0", 0.001)
+    perf2.record(OP, "cuda1", 0.004)  # capped: 4x slower
+    perf2.record(OP, "cpu0", 1.0)
+    perf2.record(OP, "cpu1", 1.0)
+    s = make_scheduler("dm", workers, perf2, data, rng)
+    for _ in range(50):
+        s.push_ready(_task(), 0.0)
+    fast = len(s._queues[workers[0].name])
+    slow = len(s._queues[workers[1].name])
+    assert fast == pytest.approx(4 * slow, abs=2)
+
+
+def test_dm_backlog_shrinks_on_finish(setup):
+    _, workers, perf, data, rng = setup
+    s = make_scheduler("dm", workers, perf, data, rng)
+    t = _task()
+    s.push_ready(t, 0.0)
+    w = next(w for w in workers if s._queues[w.name])
+    assert s._backlog[w.name] > 0
+    s.pop(w, 0.0)
+    s.task_finished(t, w, 1.0)
+    assert s._backlog[w.name] == 0.0
+
+
+def test_dmda_penalises_remote_data(setup):
+    node, workers, perf, data, rng = setup
+    s = make_scheduler("dmda", workers, perf, data, rng)
+    h = DataHandle(200_000_000)  # 200 MB: transfer dwarfs the 1ms kernel
+    data.acquire([(h, AccessMode.R)], target=1, now=0.0)  # resident on GPU 0
+    g = TaskGraph()
+    t = g.add_task(OP, [(h, AccessMode.R)])
+    s.push_ready(t, 0.0)
+    assert s._queues[workers[0].name], "task should follow its data to GPU 0"
+
+
+def test_dmdar_pops_ready_data_first(setup):
+    node, workers, perf, data, rng = setup
+    s = make_scheduler("dmdar", workers, perf, data, rng)
+    h_remote = DataHandle(50_000_000)
+    h_local = DataHandle(50_000_000)
+    data.acquire([(h_local, AccessMode.R)], target=1, now=0.0)  # on GPU 0
+    g = TaskGraph()
+    t_remote = g.add_task(OP, [(h_remote, AccessMode.R)])
+    t_local = g.add_task(OP, [(h_local, AccessMode.R)])
+    gpu0 = workers[0]
+    # Force both onto gpu0's queue directly.
+    s._queues[gpu0.name].extend([t_remote, t_local])
+    assert s.peek(gpu0) is t_local
+    assert s.pop(gpu0, 0.0) is t_local
+    assert s.pop(gpu0, 0.0) is t_remote
+
+
+def test_dmdas_pops_highest_priority(setup):
+    _, workers, perf, data, rng = setup
+    s = make_scheduler("dmdas", workers, perf, data, rng)
+    low, high = _task(prio=1), _task(prio=10)
+    s.push_ready(low, 0.0)
+    s.push_ready(high, 0.0)
+    # Find the worker(s) the tasks landed on and pop.
+    popped = []
+    for w in workers:
+        while True:
+            t = s.pop(w, 0.0)
+            if t is None:
+                break
+            popped.append(t)
+    assert popped[0] is high or popped.index(high) < popped.index(low) or (
+        len({id(x) for x in popped}) == 2
+    )
+
+
+def test_dmdas_priority_order_same_worker(setup):
+    _, workers, perf, data, rng = setup
+    s = make_scheduler("dmdas", workers, perf, data, rng)
+    # Force all onto one worker by making only cuda0 fast.
+    perf2 = PerfModelSet()
+    perf2.record(OP, "cuda0", 0.001)
+    for arch in ("cuda1", "cpu0", "cpu1"):
+        perf2.record(OP, arch, 10.0)
+    s.perf = perf2
+    tasks = [_task(prio=p) for p in (3, 9, 1, 9)]
+    for t in tasks:
+        s.push_ready(t, 0.0)
+    w = workers[0]
+    order = [s.pop(w, 0.0) for _ in range(4)]
+    prios = [t.priority for t in order]
+    assert prios == [9, 9, 3, 1]
+    # Equal priorities preserve submission order.
+    assert order[0] is tasks[1] and order[1] is tasks[3]
+
+
+def test_dmdas_peek_matches_pop(setup):
+    _, workers, perf, data, rng = setup
+    s = make_scheduler("dmdas", workers, perf, data, rng)
+    t = _task(prio=5)
+    s.push_ready(t, 0.0)
+    w = next(w for w in workers if s._heaps[w.name])
+    assert s.peek(w) is t
+    assert s.peek_many(w, 3) == [t]
+    assert s.pop(w, 0.0) is t
+    assert s.peek(w) is None
+
+
+def test_dmdae_energy_weight_shifts_placement(setup):
+    """With a huge energy weight, dmdae prefers the low-power device even
+    when it is slower."""
+    node, workers, perf, data, rng = setup
+    node.gpus[1].set_power_limit(100.0)  # GPU 1 capped: slow but frugal
+    perf2 = PerfModelSet()
+    perf2.record(OP, "cuda0", 0.0010)
+    perf2.record(OP, "cuda1", 0.0018)  # somewhat slower
+    perf2.record(OP, "cpu0", 10.0)
+    perf2.record(OP, "cpu1", 10.0)
+    s = make_scheduler("dmdae", workers, perf2, data, rng)
+    s.energy_weight = 0.0
+    s.push_ready(_task(), 0.0)
+    assert s._heaps[workers[0].name], "lambda=0 behaves like dmdas (fast GPU)"
+    s2 = make_scheduler("dmdae", workers, perf2, data, rng)
+    s2.energy_weight = 50.0
+    s2.push_ready(_task(), 0.0)
+    assert s2._heaps[workers[1].name], "large lambda prefers the capped GPU"

@@ -1,0 +1,94 @@
+"""Tests for the StarPU-style API facade."""
+
+import pytest
+
+import repro.starpu as starpu
+from repro.hardware.catalog import build_platform
+from repro.sim import Simulator
+from repro.starpu.api import StarPUError
+
+
+@pytest.fixture
+def session():
+    node = build_platform("24-Intel-2-V100", Simulator())
+    starpu.init(node, sched="dmdas", seed=1)
+    yield node
+    # Drain anything a failing test left behind, then shut down.
+    starpu.task_wait_for_all()
+    starpu.shutdown()
+
+
+def test_requires_init():
+    with pytest.raises(StarPUError):
+        starpu.data_register(100)
+
+
+def test_double_init_rejected(session):
+    node = build_platform("24-Intel-2-V100", Simulator())
+    with pytest.raises(StarPUError):
+        starpu.init(node)
+
+
+def test_register_insert_wait(session):
+    nb = 1440
+    cl = starpu.codelet("gemm", nb=nb, precision="double")
+    a = starpu.data_register(nb * nb * 8, "a")
+    b = starpu.data_register(nb * nb * 8, "b")
+    c = starpu.data_register(nb * nb * 8, "c")
+    for _ in range(4):
+        starpu.task_insert(cl, (c, starpu.RW), (a, starpu.R), (b, starpu.R))
+    result = starpu.task_wait_for_all()
+    assert result.n_tasks == 4
+    assert result.total_energy_j > 0
+
+
+def test_unregistered_handle_rejected(session):
+    from repro.runtime.data import DataHandle
+
+    cl = starpu.codelet("gemm", nb=64)
+    rogue = DataHandle(64 * 64 * 8)
+    with pytest.raises(StarPUError):
+        starpu.task_insert(cl, (rogue, starpu.R))
+
+
+def test_priorities_passed_through(session):
+    cl = starpu.codelet("gemm", nb=64)
+    h = starpu.data_register(64 * 64 * 8)
+    t = starpu.task_insert(cl, (h, starpu.RW), priority=7, name="hot")
+    assert t.priority == 7 and t.label == "hot"
+    starpu.task_wait_for_all()
+
+
+def test_empty_barrier_returns_none(session):
+    assert starpu.task_wait_for_all() is None
+
+
+def test_consecutive_barriers(session):
+    cl = starpu.codelet("gemm", nb=720)
+    h = starpu.data_register(720 * 720 * 8)
+    starpu.task_insert(cl, (h, starpu.RW))
+    r1 = starpu.task_wait_for_all()
+    starpu.task_insert(cl, (h, starpu.RW))
+    starpu.task_insert(cl, (h, starpu.RW))
+    r2 = starpu.task_wait_for_all()
+    assert (r1.n_tasks, r2.n_tasks) == (1, 2)
+
+
+def test_shutdown_with_pending_tasks_rejected():
+    node = build_platform("24-Intel-2-V100", Simulator())
+    starpu.init(node)
+    cl = starpu.codelet("gemm", nb=64)
+    h = starpu.data_register(64 * 64 * 8)
+    starpu.task_insert(cl, (h, starpu.RW))
+    with pytest.raises(StarPUError):
+        starpu.shutdown()
+    starpu.task_wait_for_all()
+    starpu.shutdown()
+
+
+def test_data_unregister(session):
+    h = starpu.data_register(100)
+    starpu.data_unregister(h)
+    cl = starpu.codelet("gemm", nb=64)
+    with pytest.raises(StarPUError):
+        starpu.task_insert(cl, (h, starpu.R))

@@ -1,0 +1,63 @@
+"""Failure injection: thermal throttling during task-based runs."""
+
+import pytest
+
+from repro.hardware.catalog import build_platform
+from repro.hardware.thermal import ThermalThrottler
+from repro.linalg import assign_priorities, gemm_graph
+from repro.runtime import RuntimeSystem
+from repro.runtime.graph import TaskState
+from repro.sim import RNGPool, Simulator
+
+
+def _run(throttled: bool, seed=2, nt=9):
+    sim = Simulator()
+    node = build_platform("32-AMD-4-A100", sim)
+    rt = RuntimeSystem(node, scheduler="dmdas", seed=seed, ewma_alpha=0.4)
+    graph, *_ = gemm_graph(5760 * nt, 5760, "double")
+    assign_priorities(graph)
+    throttler = None
+    if throttled:
+        throttler = ThermalThrottler(
+            node, rt, RNGPool(seed).stream("thermal"),
+            check_period_s=0.15, probability=0.3, severity=0.5,
+        )
+        throttler.start()
+    res = rt.run(graph)
+    if throttler:
+        throttler.restore_all()
+    return res, throttler, graph, node
+
+
+def test_run_completes_under_throttling():
+    res, throttler, graph, _ = _run(throttled=True)
+    assert len(throttler.events) > 0, "injection should have fired"
+    assert all(t.state is TaskState.DONE for t in graph.tasks)
+    assert res.n_tasks == len(graph.tasks)
+
+
+def test_throttling_costs_performance():
+    clean, *_ = _run(throttled=False)
+    hot, *_ = _run(throttled=True)
+    assert hot.makespan_s > clean.makespan_s
+
+
+def test_caps_restored_after_run():
+    _, throttler, _, node = _run(throttled=True)
+    assert all(gpu.power_limit_w == gpu.spec.cap_max_w for gpu in node.gpus)
+    assert not throttler._active
+
+
+def test_throttle_limits_within_constraints():
+    _, throttler, _, node = _run(throttled=True)
+    for event in throttler.events:
+        spec = node.gpus[event.gpu_index].spec
+        assert spec.cap_min_w <= event.limit_w <= spec.cap_max_w
+
+
+def test_injection_deterministic_per_seed():
+    _, t1, _, _ = _run(throttled=True, seed=5)
+    _, t2, _, _ = _run(throttled=True, seed=5)
+    assert [(e.gpu_index, e.start_s) for e in t1.events] == [
+        (e.gpu_index, e.start_s) for e in t2.events
+    ]

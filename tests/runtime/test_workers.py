@@ -1,0 +1,72 @@
+"""Unit tests for worker construction."""
+
+import pytest
+
+from repro.hardware.catalog import build_platform
+from repro.kernels.tile_kernels import TileOp
+from repro.runtime.worker import (
+    CPUWorker,
+    GPUWorker,
+    build_workers,
+    ground_truth_duration,
+)
+from repro.sim import Simulator
+
+
+@pytest.mark.parametrize(
+    "platform,n_gpu,n_cpu",
+    [
+        ("24-Intel-2-V100", 2, 22),   # 24 cores - 2 drivers
+        ("64-AMD-2-A100", 2, 62),     # 64 cores - 2 drivers
+        ("32-AMD-4-A100", 4, 28),     # 32 cores - 4 drivers
+    ],
+)
+def test_worker_counts_reserve_driver_cores(platform, n_gpu, n_cpu):
+    node = build_platform(platform, Simulator())
+    workers = build_workers(node)
+    gpus = [w for w in workers if isinstance(w, GPUWorker)]
+    cpus = [w for w in workers if isinstance(w, CPUWorker)]
+    assert len(gpus) == n_gpu and len(cpus) == n_cpu
+
+
+def test_driver_cores_round_robin_across_packages():
+    node = build_platform("24-Intel-2-V100", Simulator())
+    workers = build_workers(node)
+    gpus = [w for w in workers if isinstance(w, GPUWorker)]
+    assert gpus[0].driver_package is node.cpus[0]
+    assert gpus[1].driver_package is node.cpus[1]
+
+
+def test_gpu_worker_mem_node_mapping():
+    node = build_platform("32-AMD-4-A100", Simulator())
+    workers = build_workers(node)
+    gpus = [w for w in workers if isinstance(w, GPUWorker)]
+    assert [w.mem_node for w in gpus] == [1, 2, 3, 4]
+
+
+def test_cpu_workers_live_on_host_node():
+    node = build_platform("24-Intel-2-V100", Simulator())
+    for w in build_workers(node):
+        if isinstance(w, CPUWorker):
+            assert w.mem_node == 0
+
+
+def test_arch_keys():
+    node = build_platform("24-Intel-2-V100", Simulator())
+    archs = {w.arch for w in build_workers(node)}
+    assert archs == {"cuda0", "cuda1", "cpu0", "cpu1"}
+
+
+def test_ground_truth_duration_dispatch():
+    node = build_platform("24-Intel-2-V100", Simulator())
+    workers = build_workers(node)
+    op = TileOp("gemm", 1024, "double")
+    gpu_t = ground_truth_duration(workers[0], op)
+    cpu_t = ground_truth_duration(workers[-1], op)
+    assert 0 < gpu_t < cpu_t
+
+
+def test_is_gpu_flag():
+    node = build_platform("24-Intel-2-V100", Simulator())
+    workers = build_workers(node)
+    assert workers[0].is_gpu and not workers[-1].is_gpu
