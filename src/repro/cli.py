@@ -11,6 +11,7 @@ Three families of commands::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 from typing import Optional, Sequence
@@ -31,6 +32,11 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=f"regenerate {name}" if name != "all" else "run every experiment")
         p.add_argument("--scale", choices=SCALES, default="small")
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="worker processes for independent runs (0 = one per core); "
+            "results are bit-identical to --jobs 1",
+        )
         p.add_argument("--csv", action="store_true")
 
     sub.add_parser("list", help="list available experiments")
@@ -50,6 +56,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", choices=SCALES, default="small")
     p.add_argument("--scheduler", default="dmdas")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes for the config ladder (0 = one per core)")
     p.add_argument("--csv", action="store_true")
     return parser
 
@@ -98,6 +106,7 @@ def _cmd_tradeoff(args) -> int:
     metrics = run_config_set(
         args.platform, spec, configs, states,
         scheduler=args.scheduler, seed=args.seed,
+        jobs=(None if args.jobs == 0 else args.jobs),
     )
     base = metrics["H" * configs[0].n_gpus]
     result = ExperimentResult(
@@ -134,7 +143,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     names = sorted(EXPERIMENTS) if args.command == "all" else [args.command]
     for name in names:
         t0 = time.time()
-        result = EXPERIMENTS[name](scale=args.scale, seed=args.seed)
+        fn = EXPERIMENTS[name]
+        kwargs = {"scale": args.scale, "seed": args.seed}
+        # Experiments gain --jobs support individually; pass it through only
+        # where the driver accepts it so the rest keep working untouched.
+        if "jobs" in inspect.signature(fn).parameters:
+            kwargs["jobs"] = None if args.jobs == 0 else args.jobs
+        result = fn(**kwargs)
         _emit(result, args.csv)
         sys.stdout.write(f"  ({time.time() - t0:.1f}s wall)\n\n")
     return 0

@@ -95,6 +95,27 @@ def sweep_gemm(
     return points
 
 
+def sweep_many(
+    cases: list[tuple],
+    jobs: int = 1,
+    step_pct: float = 2.0,
+) -> list[list[SweepPoint]]:
+    """Run several independent cap sweeps, optionally over a process pool.
+
+    ``cases`` is a list of ``(model, n, precision)`` tuples; the result is
+    one point list per case, in input order.  Each sweep owns its Simulator
+    and device, so the parallel results are bit-identical to serial ones
+    (lazy import to avoid the ``core -> experiments`` cycle).
+    """
+    from repro.experiments.parallel import parallel_starmap
+
+    return parallel_starmap(
+        sweep_gemm,
+        [(model, n, precision, step_pct) for model, n, precision in cases],
+        jobs=jobs,
+    )
+
+
 def best_point(points: list[SweepPoint]) -> SweepPoint:
     """The sweep point with maximal energy efficiency."""
     if not points:

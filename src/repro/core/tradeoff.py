@@ -100,15 +100,22 @@ def run_config_set(
     scheduler: str = "dmdas",
     seed: int = 0,
     cpu_caps: Optional[Mapping[int, float]] = None,
+    jobs: int = 1,
 ) -> dict[str, ConfigMetrics]:
-    """Run a set of configurations; keys are the config letter strings."""
-    return {
-        config.letters: run_operation(
-            platform, spec, config, states,
-            scheduler=scheduler, seed=seed, cpu_caps=cpu_caps,
-        )
-        for config in configs
-    }
+    """Run a set of configurations; keys are the config letter strings.
+
+    Each configuration is an independent simulation, so ``jobs > 1`` fans
+    them out over a process pool with bit-identical results (lazy import to
+    avoid the ``core -> experiments`` cycle).
+    """
+    from repro.experiments.parallel import parallel_starmap
+
+    metrics = parallel_starmap(
+        run_operation,
+        [(platform, spec, config, states, scheduler, seed, cpu_caps) for config in configs],
+        jobs=jobs,
+    )
+    return {config.letters: m for config, m in zip(configs, metrics)}
 
 
 @dataclass(frozen=True)
@@ -150,15 +157,25 @@ def run_repeated(
     scheduler: str = "dmdas",
     base_seed: int = 0,
     cpu_caps: Optional[Mapping[int, float]] = None,
+    jobs: int = 1,
 ) -> RepeatedMetrics:
-    """Run one configuration ``repeats`` times with distinct seeds."""
+    """Run one configuration ``repeats`` times with distinct seeds.
+
+    Repetitions differ only by seed and are independent simulations, so
+    ``jobs > 1`` runs them across a process pool, bit-identically.
+    """
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
+    from repro.experiments.parallel import parallel_starmap
+
     runs = tuple(
-        run_operation(
-            platform, spec, config, states,
-            scheduler=scheduler, seed=base_seed + i, cpu_caps=cpu_caps,
+        parallel_starmap(
+            run_operation,
+            [
+                (platform, spec, config, states, scheduler, base_seed + i, cpu_caps)
+                for i in range(repeats)
+            ],
+            jobs=jobs,
         )
-        for i in range(repeats)
     )
     return RepeatedMetrics(config=config.letters, runs=runs)

@@ -9,7 +9,7 @@ sweep point, which is the data behind the plotted lines.
 
 from __future__ import annotations
 
-from repro.core.sweep import best_point, sweep_gemm
+from repro.core.sweep import best_point, sweep_many
 from repro.experiments.runner import ExperimentResult, check_scale
 
 MODEL = "A100-SXM4-40GB"
@@ -21,21 +21,28 @@ SIZES = {
 }
 
 
-def run(scale: str = "small", seed: int = 0, full_series: bool = False) -> ExperimentResult:
+def run(
+    scale: str = "small", seed: int = 0, full_series: bool = False, jobs: int = 1
+) -> ExperimentResult:
     check_scale(scale)
+    cases = [
+        (MODEL, n, precision)
+        for precision in ("double", "single")
+        for n in SIZES[scale]
+    ]
+    sweeps = sweep_many(cases, jobs=jobs)
     if full_series:
         result = ExperimentResult(
             name="fig1",
             title=f"GEMM cap sweep on {MODEL} (full series)",
             headers=["precision", "N", "cap_W", "cap_pct_tdp", "gflops", "power_W", "eff_gflops_per_W"],
         )
-        for precision in ("double", "single"):
-            for n in SIZES[scale]:
-                for p in sweep_gemm(MODEL, n, precision):
-                    result.rows.append(
-                        (precision, n, p.cap_w, round(p.cap_pct_tdp, 1),
-                         round(p.gflops, 1), round(p.power_w, 1), round(p.efficiency, 2))
-                    )
+        for (_, n, precision), points in zip(cases, sweeps):
+            for p in points:
+                result.rows.append(
+                    (precision, n, p.cap_w, round(p.cap_pct_tdp, 1),
+                     round(p.gflops, 1), round(p.power_w, 1), round(p.efficiency, 2))
+                )
         return result
 
     result = ExperimentResult(
@@ -50,20 +57,18 @@ def run(scale: str = "small", seed: int = 0, full_series: bool = False) -> Exper
             "paper: bigger matrices reach better efficiency (higher occupancy)",
         ],
     )
-    for precision in ("double", "single"):
-        for n in SIZES[scale]:
-            points = sweep_gemm(MODEL, n, precision)
-            best = best_point(points)
-            nocap = points[-1]
-            result.rows.append(
-                (
-                    precision,
-                    n,
-                    round(best.cap_pct_tdp, 1),
-                    round(best.efficiency, 2),
-                    round(nocap.efficiency, 2),
-                    round(100 * (best.efficiency / nocap.efficiency - 1), 2),
-                    round(100 * (1 - best.gflops / nocap.gflops), 2),
-                )
+    for (_, n, precision), points in zip(cases, sweeps):
+        best = best_point(points)
+        nocap = points[-1]
+        result.rows.append(
+            (
+                precision,
+                n,
+                round(best.cap_pct_tdp, 1),
+                round(best.efficiency, 2),
+                round(nocap.efficiency, 2),
+                round(100 * (best.efficiency / nocap.efficiency - 1), 2),
+                round(100 * (1 - best.gflops / nocap.gflops), 2),
             )
+        )
     return result

@@ -6,8 +6,15 @@ from repro.experiments.figs34 import run_precision
 from repro.experiments.runner import ExperimentResult
 
 
-def run(scale: str = "small", seed: int = 0, platforms: list[str] | None = None) -> ExperimentResult:
-    result = run_precision("double", "fig3", scale=scale, seed=seed, platforms=platforms)
+def run(
+    scale: str = "small",
+    seed: int = 0,
+    platforms: list[str] | None = None,
+    jobs: int = 1,
+) -> ExperimentResult:
+    result = run_precision(
+        "double", "fig3", scale=scale, seed=seed, platforms=platforms, jobs=jobs
+    )
     result.notes = [
         "paper 32-AMD-4-A100 GEMM: BBBB eff ~52 vs HHHH ~41 (+20-24 %), perf -21 %",
         "paper 32-AMD-4-A100: HHHB saves ~4 % energy (+5 % eff); LLLL: perf -80 %, energy +60 %",

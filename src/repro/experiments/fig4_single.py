@@ -6,8 +6,15 @@ from repro.experiments.figs34 import run_precision
 from repro.experiments.runner import ExperimentResult
 
 
-def run(scale: str = "small", seed: int = 0, platforms: list[str] | None = None) -> ExperimentResult:
-    result = run_precision("single", "fig4", scale=scale, seed=seed, platforms=platforms)
+def run(
+    scale: str = "small",
+    seed: int = 0,
+    platforms: list[str] | None = None,
+    jobs: int = 1,
+) -> ExperimentResult:
+    result = run_precision(
+        "single", "fig4", scale=scale, seed=seed, platforms=platforms, jobs=jobs
+    )
     result.notes = [
         "paper 32-AMD-4-A100: BBBB +33.78 % efficiency (GEMM); HHBB ~9.5 % energy "
         "saving at -14.6 % perf (eff 54.9 vs 49.7)",

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.core.capconfig import CapConfig, CapStates
 from repro.core.tradeoff import OperationSpec, run_operation
+from repro.experiments.parallel import parallel_starmap
 from repro.experiments.platforms import (
     PAPER_CPU_CAPS,
     derived_best_cap_w,
@@ -33,7 +34,7 @@ def _configs(n_gpus: int) -> list[CapConfig]:
     return [CapConfig("H" * n_gpus), CapConfig(half), CapConfig("B" * n_gpus)]
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+def run(scale: str = "small", seed: int = 0, jobs: int = 1) -> ExperimentResult:
     check_scale(scale)
     result = ExperimentResult(
         name="fig7",
@@ -45,6 +46,10 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
             "paper: lower precision benefits more from capping",
         ],
     )
+    # Flatten the whole (platform, op, precision, Nt, config) grid into one
+    # list of independent runs so a process pool can balance across it.
+    rows_head = []
+    calls = []
     for platform in platform_names():
         pspec = PLATFORMS[platform]
         gspec = gpu_spec(pspec.gpu_model)
@@ -56,12 +61,13 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
                     b_w = derived_best_cap_w(gspec.model, precision, nb)
                     states = CapStates(h_w=gspec.cap_max_w, b_w=b_w, l_w=gspec.cap_min_w)
                     for config in _configs(pspec.n_gpus):
-                        m = run_operation(
-                            platform, spec, config, states,
-                            seed=seed, cpu_caps=PAPER_CPU_CAPS[platform],
+                        rows_head.append((platform, op, precision, nb, config.letters))
+                        calls.append(
+                            (platform, spec, config, states, "dmdas", seed,
+                             PAPER_CPU_CAPS[platform])
                         )
-                        result.rows.append(
-                            (platform, op, precision, nb, config.letters,
-                             round(m.efficiency, 2))
-                        )
+    metrics = parallel_starmap(run_operation, calls, jobs=jobs)
+    result.rows = [
+        head + (round(m.efficiency, 2),) for head, m in zip(rows_head, metrics)
+    ]
     return result

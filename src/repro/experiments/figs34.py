@@ -5,11 +5,21 @@ report the paper's three quantities per configuration: performance change,
 energy change (positive = saving) and energy efficiency — all relative to
 the all-H default.  On the Intel platform the paper's CPU cap is applied
 (see the Fig. 6 caption).
+
+Every (platform, operation, configuration) run is an independent
+simulation, so the driver flattens the whole grid into one list of calls
+and maps it through :func:`~repro.experiments.parallel.parallel_starmap`
+— ``jobs > 1`` parallelises across the full grid, not just within one
+configuration ladder, and the emitted rows are bit-identical to a serial
+run.
 """
 
 from __future__ import annotations
 
-from repro.core.tradeoff import run_config_set
+from repro.core.capconfig import CapConfig
+from repro.core.efficiency import ConfigMetrics
+from repro.core.tradeoff import run_operation
+from repro.experiments.parallel import parallel_starmap
 from repro.experiments.platforms import (
     PAPER_CPU_CAPS,
     cap_states,
@@ -20,6 +30,26 @@ from repro.experiments.runner import ExperimentResult, check_scale
 from repro.hardware.catalog import platform_names
 
 
+def _baseline(
+    metrics: dict[str, ConfigMetrics], configs: list[CapConfig], context: str
+) -> ConfigMetrics:
+    """The all-H default every delta is computed against.
+
+    Resolved explicitly from the configuration list rather than by
+    reconstructing the letter string from whatever happens to be first —
+    and a missing baseline is a loud, named error instead of a bare
+    ``KeyError``.
+    """
+    key = "H" * configs[0].n_gpus
+    try:
+        return metrics[key]
+    except KeyError:
+        raise ValueError(
+            f"baseline config {key!r} missing from results for {context}; "
+            f"have {sorted(metrics)}"
+        ) from None
+
+
 def run_precision(
     precision: str,
     name: str,
@@ -27,6 +57,7 @@ def run_precision(
     seed: int = 0,
     platforms: list[str] | None = None,
     ops: tuple[str, ...] = ("gemm", "potrf"),
+    jobs: int = 1,
 ) -> ExperimentResult:
     check_scale(scale)
     result = ExperimentResult(
@@ -39,27 +70,33 @@ def run_precision(
             "gpu_task_frac",
         ],
     )
+    cases = []
+    calls = []
     for platform in platforms or platform_names():
         for op in ops:
             spec = operation_spec(platform, op, precision, scale)
             states = cap_states(platform, op, precision, scale)
             configs = config_list(platform)
-            metrics = run_config_set(
-                platform, spec, configs, states,
-                seed=seed, cpu_caps=PAPER_CPU_CAPS[platform],
+            cases.append((platform, op, configs))
+            calls.extend(
+                (platform, spec, config, states, "dmdas", seed, PAPER_CPU_CAPS[platform])
+                for config in configs
             )
-            base = metrics["H" * len(configs[0].letters)]
-            for config in configs:
-                m = metrics[config.letters]
-                result.rows.append(
-                    (
-                        platform,
-                        op,
-                        config.letters,
-                        round(m.perf_delta_pct(base), 2),
-                        round(m.energy_saving_pct(base), 2),
-                        round(m.efficiency, 2),
-                        round(m.gpu_task_fraction, 3),
-                    )
+    outcomes = iter(parallel_starmap(run_operation, calls, jobs=jobs))
+    for platform, op, configs in cases:
+        metrics = {config.letters: next(outcomes) for config in configs}
+        base = _baseline(metrics, configs, f"{platform}/{op}/{precision}")
+        for config in configs:
+            m = metrics[config.letters]
+            result.rows.append(
+                (
+                    platform,
+                    op,
+                    config.letters,
+                    round(m.perf_delta_pct(base), 2),
+                    round(m.energy_saving_pct(base), 2),
+                    round(m.efficiency, 2),
+                    round(m.gpu_task_fraction, 3),
                 )
+            )
     return result

@@ -1,0 +1,66 @@
+"""Process-pool execution of independent experiment runs.
+
+Every experiment in this repo is a list of *independent* simulations: each
+``run_operation`` call builds its own :class:`~repro.sim.Simulator`, its own
+platform and its own seeded RNG pool, and shares no mutable state with any
+other call.  That makes them embarrassingly parallel — and, crucially,
+*bit-identical* under parallel execution: the result of a run depends only
+on its arguments, never on which process executed it or in which order.
+
+:func:`parallel_starmap` is the one primitive everything uses.  It preserves
+input order, falls back to a plain serial loop for ``jobs <= 1`` (or when
+there is nothing to parallelise), and submits each call with ``chunksize=1``
+so long-tailed runs balance across workers.
+
+This module deliberately imports nothing from :mod:`repro` so that core
+modules can import it lazily without creating an import cycle
+(``core -> experiments.parallel`` would otherwise drag in
+``experiments.__init__`` and every figure driver, which import ``core``).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+
+def default_jobs() -> int:
+    """Worker count used for ``jobs=None``: one per available core."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _invoke(payload: tuple[Callable[..., Any], tuple]) -> Any:
+    """Pool-side trampoline: unpack ``(fn, args)`` and apply.
+
+    Module-level so it pickles by reference; ``fn`` itself must therefore be
+    a module-level callable too (all experiment entry points are).
+    """
+    fn, args = payload
+    return fn(*args)
+
+
+def parallel_starmap(
+    fn: Callable[..., Any],
+    argtuples: Iterable[Sequence],
+    jobs: Optional[int] = 1,
+) -> list[Any]:
+    """``[fn(*args) for args in argtuples]``, optionally across processes.
+
+    ``jobs <= 1`` (the default) runs the exact serial loop in-process —
+    zero overhead, no pool.  ``jobs=None`` uses one worker per core.  The
+    returned list is always in input order, and because each call is a pure
+    function of its arguments the parallel result is bit-identical to the
+    serial one.
+
+    ``fn`` and every argument must be picklable (module-level function,
+    plain data arguments).  Exceptions raised by a call propagate to the
+    caller, as in the serial loop.
+    """
+    calls = [(fn, tuple(args)) for args in argtuples]
+    n_jobs = default_jobs() if jobs is None else int(jobs)
+    if n_jobs <= 1 or len(calls) < 2:
+        return [f(*args) for f, args in calls]
+    n_jobs = min(n_jobs, len(calls))
+    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+        return list(pool.map(_invoke, calls, chunksize=1))

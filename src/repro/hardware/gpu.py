@@ -50,6 +50,13 @@ class GPUDevice:
         self._power_w = spec.idle_w
         self._energy_j = 0.0
         self._last_t = clock.now
+        # (precision, activity) -> (freq, busy power) under the current cap.
+        # freq_at_cap is a 60-iteration bisection; the operating point only
+        # changes with the cap, so set_power_limit invalidates this cache.
+        self._op_point_cache: dict[tuple[str, float], tuple[float, float]] = {}
+        # Kernel-model scratch cache (e.g. tile-op ground-truth durations),
+        # valid for the current cap only; cleared alongside the cache above.
+        self.kernel_time_cache: dict = {}
 
     # ------------------------------------------------------------ accounting
 
@@ -96,6 +103,8 @@ class GPUDevice:
                 f"[{self.spec.cap_min_w}, {self.spec.cap_max_w}] W"
             )
         self._power_limit_w = float(watts)
+        self._op_point_cache.clear()
+        self.kernel_time_cache.clear()
         if self._tracer is not None:
             self._tracer.point(self.name, "cap", self._clock.now, f"{watts:.0f}W")
 
@@ -105,10 +114,21 @@ class GPUDevice:
 
     # ------------------------------------------------------- operating point
 
+    def _operating_point(self, precision: str, activity: float) -> tuple[float, float]:
+        """``(freq, busy power)`` under the current cap, cached per
+        (precision, activity) until the next :meth:`set_power_limit`."""
+        key = (precision, activity)
+        point = self._op_point_cache.get(key)
+        if point is None:
+            profile = self.spec.power_profiles[precision]
+            f = profile.freq_at_cap(self._power_limit_w, activity)
+            point = (f, profile.power(f, activity))
+            self._op_point_cache[key] = point
+        return point
+
     def effective_freq(self, precision: str, activity: float = 1.0) -> float:
         """Boost frequency (normalised) the governor reaches under the cap."""
-        profile = self.spec.power_profiles[precision]
-        return profile.freq_at_cap(self._power_limit_w, activity)
+        return self._operating_point(precision, activity)[0]
 
     def perf_scale(self, precision: str, activity: float = 1.0) -> float:
         """Throughput relative to the uncapped device for this workload."""
@@ -117,9 +137,7 @@ class GPUDevice:
 
     def busy_power(self, precision: str, activity: float = 1.0) -> float:
         """Power drawn while running such a kernel under the current cap."""
-        profile = self.spec.power_profiles[precision]
-        f = profile.freq_at_cap(self._power_limit_w, activity)
-        return profile.power(f, activity)
+        return self._operating_point(precision, activity)[1]
 
     # ------------------------------------------------------------- execution
 
@@ -129,9 +147,8 @@ class GPUDevice:
             raise DeviceBusyError(f"{self.name} already running {self._kernel_label!r}")
         self._busy = True
         self._kernel_label = label
-        f = self.effective_freq(precision, activity)
-        profile = self.spec.power_profiles[precision]
-        self._set_power(profile.power(f, activity))
+        f, power = self._operating_point(precision, activity)
+        self._set_power(power)
         return f
 
     def end_kernel(self) -> None:

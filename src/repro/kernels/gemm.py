@@ -96,7 +96,7 @@ class GemmKernel:
         spec = gpu.spec
         act = self.activity(spec)
         profile = spec.power_profiles[self.precision]
-        f = profile.freq_at_cap(gpu.power_limit_w, act)
+        f = gpu.effective_freq(self.precision, act)
         gflops = spec.peak_gflops[self.precision] * self.utilization(spec) * profile.perf_scale(f)
         return roofline_time(
             self.flops, self.traffic_bytes, gflops, spec.mem_bw_gbs, spec.launch_overhead_s

@@ -77,6 +77,14 @@ class TileOp:
         if self.nb <= 0:
             raise ValueError("tile size must be positive")
         dtype_bytes(self.precision)
+        # Ops are immutable and keyed constantly on the scheduler hot path;
+        # precompute the identity tuple (also the perf-model key) and hash.
+        key = (self.kind, self.nb, self.precision)
+        object.__setattr__(self, "key", key)
+        object.__setattr__(self, "_hash", hash(key))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     # ------------------------------------------------------------------ work
 
@@ -129,21 +137,30 @@ class TileOp:
     # ------------------------------------------------------------- durations
 
     def time_on_gpu(self, gpu: GPUDevice) -> float:
-        """Ground-truth duration on a GPU under its current cap."""
+        """Ground-truth duration on a GPU under its current cap.
+
+        Pure in (op, spec, cap), so the result is cached on the device and
+        invalidated when the cap changes (``set_power_limit``).
+        """
+        cached = gpu.kernel_time_cache.get(self.key)
+        if cached is not None:
+            return cached
         spec = gpu.spec
         gemm = GemmKernel.square(self.nb, self.precision)
         act = self.activity(spec)
         profile = spec.power_profiles[self.precision]
-        f = profile.freq_at_cap(gpu.power_limit_w, act)
+        f = gpu.effective_freq(self.precision, act)
         gflops = (
             spec.peak_gflops[self.precision]
             * gemm.utilization(spec)
             * _GPU_FACTOR[self.kind]
             * profile.perf_scale(f)
         )
-        return roofline_time(
+        duration = roofline_time(
             self.flops, self.traffic_bytes, gflops, spec.mem_bw_gbs, spec.launch_overhead_s
         )
+        gpu.kernel_time_cache[self.key] = duration
+        return duration
 
     def power_on_gpu(self, gpu: GPUDevice) -> float:
         return gpu.busy_power(self.precision, self.activity(gpu.spec))

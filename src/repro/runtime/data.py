@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import itertools
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Iterable, Optional, Sequence
@@ -27,19 +28,20 @@ from repro.hardware.node import MEM_HOST, Node
 
 
 class AccessMode(Enum):
-    """StarPU data access modes."""
+    """StarPU data access modes.
+
+    ``reads``/``writes`` are plain attributes precomputed at member
+    construction — they are consulted for every handle on every placement
+    estimate, staging and release, where property dispatch is measurable.
+    """
 
     R = "R"
     W = "W"
     RW = "RW"
 
-    @property
-    def reads(self) -> bool:
-        return self in (AccessMode.R, AccessMode.RW)
-
-    @property
-    def writes(self) -> bool:
-        return self in (AccessMode.W, AccessMode.RW)
+    def __init__(self, value: str) -> None:
+        self.reads: bool = value != "W"
+        self.writes: bool = value != "R"
 
 
 class CoherenceError(RuntimeError):
@@ -168,8 +170,31 @@ class DataManager:
         self.n_transfers = 0
         # Arrival times of in-flight replicas: (handle id, node) -> abs time.
         self._arrival: dict[tuple[int, int], float] = {}
+        # Scoped memo for transfer_estimate; active only inside
+        # estimate_cache() windows (one scheduling decision).
+        self._estimate_memo: Optional[dict] = None
 
     # ------------------------------------------------------------- estimates
+
+    @contextmanager
+    def estimate_cache(self):
+        """Memoize :meth:`transfer_estimate` for the duration of one
+        scheduling decision.
+
+        Coherence state and link backlogs cannot change while a scheduler
+        is scoring candidates, so repeated queries for the same (handles,
+        target) pair — e.g. two CPU packages sharing the host memory node —
+        are pure recomputation.  The memo dies when the ``with`` block
+        exits; nested use reuses the outer memo.
+        """
+        if self._estimate_memo is not None:
+            yield
+            return
+        self._estimate_memo = {}
+        try:
+            yield
+        finally:
+            self._estimate_memo = None
 
     def transfer_estimate(self, handles: Sequence[tuple[DataHandle, AccessMode]], target: int) -> float:
         """Predicted transfer delay to make all reads valid at ``target``.
@@ -177,12 +202,22 @@ class DataManager:
         Mirrors dmda's transfer-penalty term: static link time plus current
         queue backlog, no reservation.
         """
+        memo = self._estimate_memo
+        if memo is not None:
+            # id() is safe here: the memo only lives within one decision,
+            # during which the accesses list object cannot be recycled.
+            key = (id(handles), target)
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
         total = 0.0
         for handle, mode in handles:
             if not mode.reads or target in handle.valid_nodes:
                 continue
             source = self._pick_source(handle)
             total += self._path_estimate(source, target, handle.nbytes)
+        if memo is not None:
+            memo[key] = total
         return total
 
     def _path_estimate(self, source: int, target: int, nbytes: int) -> float:

@@ -56,6 +56,10 @@ class RunResult:
     cpu_caps_w: list[float] = field(default_factory=list)
     bytes_transferred: int = 0
     n_evictions: int = 0
+    #: Expensive placement evaluations (estimate + transfer terms) the
+    #: scheduler performed — one per (task, equivalence class), not per
+    #: (task, worker).  Zero for schedulers without model-based placement.
+    n_placement_evals: int = 0
 
     @property
     def total_energy_j(self) -> float:
@@ -213,6 +217,7 @@ class RuntimeSystem:
             cpu_caps_w=[c.power_limit_w for c in self.node.cpus],
             bytes_transferred=self.data.bytes_transferred,
             n_evictions=sum(m.n_evictions for m in self.data.managers.values()),
+            n_placement_evals=getattr(self._scheduler, "n_placement_evals", 0),
         )
         self._scheduler = None
         return result
@@ -240,8 +245,9 @@ class RuntimeSystem:
             cpu.set_spinning(counts[id(cpu)])
 
     def _dispatch_all(self) -> None:
+        scheduler = self._scheduler
         for w in self.workers:
-            if not w.busy:
+            if not w.busy and scheduler.has_work_for(w):
                 self._try_start(w)
 
     def _try_start(self, worker: WorkerType) -> None:

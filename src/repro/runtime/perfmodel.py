@@ -28,7 +28,9 @@ ModelKey = tuple[str, int, str]  # (kind, nb, precision)
 
 
 def model_key(op: TileOp) -> ModelKey:
-    return (op.kind, op.nb, op.precision)
+    # TileOp precomputes its identity tuple; fall back for op-like stubs.
+    key = getattr(op, "key", None)
+    return key if key is not None else (op.kind, op.nb, op.precision)
 
 
 @dataclass
@@ -127,25 +129,39 @@ class RegressionModel:
 
 @dataclass
 class PerfModelSet:
-    """History model + regression fallback + a pessimistic default."""
+    """History model + regression fallback + a pessimistic default.
+
+    :meth:`estimate` sits on the scheduler's placement hot path (one lookup
+    per placement class per pushed task), so resolved estimates are cached
+    per ``(key, arch)``; :meth:`record` invalidates exactly the entry it
+    refreshes, and wholesale model changes (:meth:`clear`,
+    :meth:`enable_regression`) drop the cache entirely.
+    """
 
     history: HistoryModel = field(default_factory=HistoryModel)
     default_estimate_s: float = 1e-3
     _regression: Optional[RegressionModel] = None
+    _cache: dict[tuple[ModelKey, str], float] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def record(self, op: TileOp, arch: str, duration: float) -> None:
-        self.history.record(model_key(op), arch, duration)
+        key = model_key(op)
+        self.history.record(key, arch, duration)
+        self._cache.pop((key, arch), None)
 
     def estimate(self, op: TileOp, arch: str) -> float:
         key = model_key(op)
+        cached = self._cache.get((key, arch))
+        if cached is not None:
+            return cached
         est = self.history.estimate(key, arch)
-        if est is not None:
-            return est
-        if self._regression is not None:
+        if est is None and self._regression is not None:
             est = self._regression.estimate(key, arch)
-            if est is not None:
-                return est
-        return self.default_estimate_s
+        if est is None:
+            est = self.default_estimate_s
+        self._cache[(key, arch)] = est
+        return est
 
     def is_calibrated(self, op: TileOp, arch: str) -> bool:
         return self.history.nsamples(model_key(op), arch) > 0
@@ -153,7 +169,9 @@ class PerfModelSet:
     def enable_regression(self) -> None:
         self._regression = RegressionModel(self.history)
         self._regression.refit()
+        self._cache.clear()
 
     def clear(self) -> None:
         self.history.clear()
         self._regression = None
+        self._cache.clear()

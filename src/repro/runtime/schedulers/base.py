@@ -39,6 +39,24 @@ class Scheduler(ABC):
         self.rng = rng
         self.n_pushed = 0
         self.n_popped = 0
+        self._placement_classes = self._build_placement_classes()
+
+    def placement_class_key(self, worker: WorkerType):
+        """Equivalence key for placement: workers sharing it are
+        interchangeable up to their backlog (same duration estimates, same
+        data-transfer penalty, same energy model)."""
+        return (worker.arch, getattr(worker, "mem_node", None))
+
+    def _build_placement_classes(self) -> list[list[tuple[int, WorkerType]]]:
+        """Group workers by :meth:`placement_class_key`, preserving worker
+        order both across and within classes.  Each entry keeps the worker's
+        index in ``self.workers`` so tie-breaks match a brute-force scan."""
+        classes: dict = {}
+        for index, worker in enumerate(self.workers):
+            classes.setdefault(self.placement_class_key(worker), []).append(
+                (index, worker)
+            )
+        return list(classes.values())
 
     @abstractmethod
     def push_ready(self, task: Task, now: float) -> None:
@@ -57,6 +75,15 @@ class Scheduler(ABC):
     @abstractmethod
     def has_pending(self) -> bool:
         """True while any queued (not yet popped) task remains."""
+
+    def has_work_for(self, worker: WorkerType) -> bool:
+        """Whether :meth:`pop` could return a task for this worker right now.
+
+        Used by the engine to skip pop attempts that are guaranteed to
+        return ``None``.  May overestimate (a pop may still come back
+        empty) but must never underestimate.
+        """
+        return self.has_pending()
 
     def peek(self, worker: WorkerType) -> Optional[Task]:
         """Next task this worker would pop, if the policy binds tasks to

@@ -10,10 +10,21 @@ queued on (or running on) ``w``, and ``t_est`` comes from the calibrated
 performance models.  Because those models are recalibrated after every cap
 change, a power-capped GPU advertises longer estimates and automatically
 receives fewer tasks — the adaptation mechanism at the centre of the paper.
+
+Placement is evaluated per *equivalence class* of workers, not per worker:
+two workers with the same ``(arch, mem_node)`` see identical duration
+estimates and transfer penalties, so their costs differ only by backlog.
+The expensive cost terms (:meth:`placement_terms`) are therefore computed
+once per class and folded with each member's backlog in the same order a
+per-worker scan would use, which keeps the selection bit-identical to the
+brute-force path (kept behind :attr:`brute_force_placement` for testing)
+while collapsing ~26 model/transfer evaluations per push to ~3 on the
+paper's platforms.  See ``docs/performance.md``.
 """
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import Optional
 
@@ -26,27 +37,90 @@ class DMScheduler(Scheduler):
     name = "dm"
     uses_perfmodel = True
 
+    #: Debug flag: evaluate :meth:`placement_cost` for every eligible worker
+    #: (the pre-optimization path) instead of once per equivalence class.
+    #: The equivalence tests assert both paths produce identical schedules.
+    brute_force_placement = False
+
     def __init__(self, workers, perf, data, rng) -> None:
         super().__init__(workers, perf, data, rng)
         self._queues: dict[str, deque[Task]] = {w.name: deque() for w in self.workers}
         self._backlog: dict[str, float] = {w.name: 0.0 for w in self.workers}
         self._task_est: dict[int, float] = {}
+        self.n_placement_evals = 0
 
     # --------------------------------------------------------------- scoring
 
+    def placement_terms(self, task: Task, worker: WorkerType, now: float) -> tuple[float, ...]:
+        """Cost addends beyond the worker's backlog, in fold order.
+
+        ``cost(w) = ((backlog(w) + terms[0]) + terms[1]) + ...`` with
+        left-to-right float addition, matching :meth:`placement_cost`.
+        Every term must depend on the worker only through its placement
+        class (:meth:`Scheduler.placement_class_key`), and ``terms[0]``
+        must be the duration estimate (it feeds the backlog accounting).
+        Subclasses overriding :meth:`placement_cost` must keep this method
+        consistent or set :attr:`brute_force_placement`.
+        """
+        return (self.estimate(task, worker),)
+
     def placement_cost(self, task: Task, worker: WorkerType, now: float) -> float:
         """Expected completion time of ``task`` on ``worker``."""
-        return self._backlog[worker.name] + self.estimate(task, worker)
+        cost = self._backlog[worker.name]
+        for term in self.placement_terms(task, worker, now):
+            cost += term
+        return cost
+
+    def _select_worker(self, task: Task, now: float) -> tuple[WorkerType, float]:
+        """Pick the cheapest worker; returns ``(worker, duration_estimate)``.
+
+        The estimate is returned so callers never recompute the winning
+        worker's model lookup after the scan already paid for it.
+        """
+        if self.brute_force_placement:
+            workers = self.eligible(task)
+            costs = [self.placement_cost(task, w, now) for w in workers]
+            self.n_placement_evals += len(workers)
+            best = workers[min(range(len(workers)), key=costs.__getitem__)]
+            return best, self.estimate(task, best)
+        best: Optional[WorkerType] = None
+        best_cost = math.inf
+        best_index = -1
+        best_est = 0.0
+        backlog = self._backlog
+        with self.data.estimate_cache():
+            for members in self._placement_classes:
+                if not members[0][1].can_run(task.op):
+                    continue
+                terms = self.placement_terms(task, members[0][1], now)
+                self.n_placement_evals += 1
+                for index, worker in members:
+                    cost = backlog[worker.name]
+                    for term in terms:
+                        cost += term
+                    if cost < best_cost or (cost == best_cost and index < best_index):
+                        best, best_cost, best_index, best_est = (
+                            worker, cost, index, terms[0],
+                        )
+        if best is None:
+            raise RuntimeError(f"no worker can run {task.op.kind!r}")
+        return best, best_est
 
     # ------------------------------------------------------------------- api
 
+    def _enqueue(self, worker: WorkerType, task: Task) -> None:
+        """Queue the placed task on its worker (policy-specific order)."""
+        self._queues[worker.name].append(task)
+
     def push_ready(self, task: Task, now: float) -> None:
-        best = min(self.eligible(task), key=lambda w: self.placement_cost(task, w, now))
-        est = self.estimate(task, best)
-        self._queues[best.name].append(task)
+        best, est = self._select_worker(task, now)
+        self._enqueue(best, task)
         self._backlog[best.name] += est
         self._task_est[task.tid] = est
         self.n_pushed += 1
+
+    def has_work_for(self, worker: WorkerType) -> bool:
+        return bool(self._queues[worker.name])
 
     def pop(self, worker: WorkerType, now: float) -> Optional[Task]:
         queue = self._queues[worker.name]

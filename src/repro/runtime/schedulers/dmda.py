@@ -15,6 +15,7 @@ from repro.runtime.worker import WorkerType
 class DMDAScheduler(DMScheduler):
     name = "dmda"
 
-    def placement_cost(self, task: Task, worker: WorkerType, now: float) -> float:
-        transfer = self.data.transfer_estimate(task.accesses, worker.mem_node)
-        return super().placement_cost(task, worker, now) + transfer
+    def placement_terms(self, task: Task, worker: WorkerType, now: float) -> tuple[float, ...]:
+        return super().placement_terms(task, worker, now) + (
+            self.data.transfer_estimate(task.accesses, worker.mem_node),
+        )

@@ -38,7 +38,8 @@ class DMDAEScheduler(DMDASScheduler):
             power = pkg.spec.per_core_w * pkg.freq_scale**3
         return duration * power
 
-    def placement_cost(self, task: Task, worker: WorkerType, now: float) -> float:
-        base = super().placement_cost(task, worker, now)
+    def placement_terms(self, task: Task, worker: WorkerType, now: float) -> tuple[float, ...]:
         energy = self.task_energy_estimate(task, worker)
-        return base + self.energy_weight * energy / REFERENCE_POWER_W
+        return super().placement_terms(task, worker, now) + (
+            self.energy_weight * energy / REFERENCE_POWER_W,
+        )

@@ -29,13 +29,11 @@ class DMDASScheduler(DMDAScheduler):
         self._heaps: dict[str, list] = {w.name: [] for w in self.workers}
         self._seq = itertools.count()
 
-    def push_ready(self, task: Task, now: float) -> None:
-        best = min(self.eligible(task), key=lambda w: self.placement_cost(task, w, now))
-        est = self.estimate(task, best)
-        heapq.heappush(self._heaps[best.name], (-task.priority, next(self._seq), task))
-        self._backlog[best.name] += est
-        self._task_est[task.tid] = est
-        self.n_pushed += 1
+    def _enqueue(self, worker: WorkerType, task: Task) -> None:
+        heapq.heappush(self._heaps[worker.name], (-task.priority, next(self._seq), task))
+
+    def has_work_for(self, worker: WorkerType) -> bool:
+        return bool(self._heaps[worker.name])
 
     def pop(self, worker: WorkerType, now: float) -> Optional[Task]:
         heap = self._heaps[worker.name]

@@ -23,6 +23,9 @@ class RandomScheduler(Scheduler):
         self._queues[target.name].append(task)
         self.n_pushed += 1
 
+    def has_work_for(self, worker: WorkerType) -> bool:
+        return bool(self._queues[worker.name])
+
     def pop(self, worker: WorkerType, now: float) -> Optional[Task]:
         queue = self._queues[worker.name]
         if not queue:

@@ -32,17 +32,27 @@ class _HeapEntry:
 class EventHandle:
     """A cancellable reference to a scheduled event."""
 
-    __slots__ = ("time", "fn", "args", "cancelled")
+    __slots__ = ("time", "fn", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        args: tuple,
+        sim: "Optional[Simulator]" = None,
+    ):
         self.time = time
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._note_cancelled()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -65,12 +75,18 @@ class Simulator:
     2.0
     """
 
+    #: Don't bother compacting heaps smaller than this — popping lazily is
+    #: cheap and compacting tiny heaps would thrash.
+    COMPACT_MIN_SIZE = 64
+
     def __init__(self) -> None:
         self._heap: list[_HeapEntry] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
+        self._n_cancelled = 0
         self.n_processed = 0
+        self.n_compactions = 0
 
     @property
     def now(self) -> float:
@@ -89,14 +105,36 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before current time t={self._now}"
             )
-        handle = EventHandle(time, fn, args)
+        handle = EventHandle(time, fn, args, self)
         heapq.heappush(self._heap, _HeapEntry(time, next(self._seq), handle))
         return handle
+
+    # ------------------------------------------------------------- compaction
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`EventHandle.cancel`; compacts the heap when
+        cancelled entries outnumber live ones.
+
+        Cancelled events are normally discarded lazily as they surface at the
+        heap top, but a workload that cancels much more than it fires (e.g.
+        timeout guards) would otherwise accumulate dead entries and inflate
+        every push/pop to O(log dead).  Compaction filters them out and
+        re-heapifies — entries keep their (time, seq) keys, so event order is
+        unchanged.
+        """
+        self._n_cancelled += 1
+        heap = self._heap
+        if len(heap) >= self.COMPACT_MIN_SIZE and self._n_cancelled * 2 > len(heap):
+            self._heap = [e for e in heap if not e.handle.cancelled]
+            heapq.heapify(self._heap)
+            self._n_cancelled = 0
+            self.n_compactions += 1
 
     def peek(self) -> Optional[float]:
         """Timestamp of the next pending event, or ``None`` if idle."""
         while self._heap and self._heap[0].handle.cancelled:
             heapq.heappop(self._heap)
+            self._n_cancelled -= 1
         return self._heap[0].time if self._heap else None
 
     def step(self) -> bool:
@@ -105,6 +143,7 @@ class Simulator:
             entry = heapq.heappop(self._heap)
             handle = entry.handle
             if handle.cancelled:
+                self._n_cancelled -= 1
                 continue
             self._now = entry.time
             self.n_processed += 1

@@ -1,0 +1,76 @@
+"""Invalidation rules for the hot-path analytic-model caches.
+
+Three caches sit on the scheduler/execution hot path:
+
+- ``GPUDevice`` caches its (freq, busy power) operating point and the
+  tile-kernel ground-truth durations per cap — both must drop on
+  ``set_power_limit`` (the paper's whole mechanism is re-measuring under a
+  new cap);
+- ``PerfModelSet`` caches resolved estimates per (op key, arch) — each
+  ``record`` must invalidate exactly that entry, and wholesale model
+  changes must drop everything.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.catalog import gpu_spec
+from repro.hardware.gpu import GPUDevice
+from repro.kernels.tile_kernels import TileOp
+from repro.runtime.data import AccessMode
+from repro.runtime.perfmodel import PerfModelSet
+from repro.sim import Simulator
+
+OP = TileOp("gemm", 1024, "double")
+
+
+def _gpu() -> GPUDevice:
+    return GPUDevice(gpu_spec("A100-SXM4-40GB"), 0, Simulator())
+
+
+def test_operating_point_cache_invalidated_on_cap_change():
+    gpu = _gpu()
+    f_hi = gpu.effective_freq("double", 1.0)
+    p_hi = gpu.busy_power("double", 1.0)
+    gpu.set_power_limit(gpu.spec.cap_min_w)
+    assert gpu.effective_freq("double", 1.0) < f_hi
+    assert gpu.busy_power("double", 1.0) < p_hi
+    gpu.set_power_limit(gpu.spec.cap_max_w)
+    assert gpu.effective_freq("double", 1.0) == f_hi
+    assert gpu.busy_power("double", 1.0) == p_hi
+
+
+def test_kernel_time_cache_invalidated_on_cap_change():
+    gpu = _gpu()
+    t_fast = OP.time_on_gpu(gpu)
+    assert OP.time_on_gpu(gpu) == t_fast  # served from cache
+    gpu.set_power_limit(gpu.spec.cap_min_w)
+    t_capped = OP.time_on_gpu(gpu)
+    assert t_capped > t_fast
+
+
+def test_perfmodel_cache_invalidated_per_record():
+    perf = PerfModelSet()
+    perf.record(OP, "cuda0", 1.0)
+    assert perf.estimate(OP, "cuda0") == 1.0
+    perf.record(OP, "cuda0", 3.0)
+    moved = perf.estimate(OP, "cuda0")
+    assert moved != 1.0  # the refreshed entry reflects the new sample
+    # A record for one arch must not disturb another's cached estimate.
+    other = TileOp("syrk", 1024, "double")
+    perf.record(other, "cpu0", 0.5)
+    assert perf.estimate(OP, "cuda0") == moved
+
+
+def test_perfmodel_cache_dropped_on_clear():
+    perf = PerfModelSet()
+    perf.record(OP, "cuda0", 2.0)
+    assert perf.estimate(OP, "cuda0") == 2.0
+    perf.clear()
+    assert perf.estimate(OP, "cuda0") == perf.default_estimate_s
+
+
+def test_access_mode_flags_are_plain_attributes():
+    # The reads/writes flags moved off property dispatch; semantics intact.
+    assert AccessMode.R.reads and not AccessMode.R.writes
+    assert AccessMode.W.writes and not AccessMode.W.reads
+    assert AccessMode.RW.reads and AccessMode.RW.writes

@@ -1,0 +1,61 @@
+"""The optimized placement path must be bit-identical to brute force.
+
+The dm-family schedulers collapse interchangeable workers into
+(arch, mem_node) equivalence classes and evaluate the expensive placement
+terms once per class.  ``DMScheduler.brute_force_placement`` re-enables the
+original per-worker evaluation; every scheduler, on both a 2-GPU and a
+4-GPU platform, must produce the exact same run either way.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.platforms import operation_spec
+from repro.hardware.catalog import build_platform
+from repro.runtime import RuntimeSystem
+from repro.runtime.schedulers import SCHEDULERS
+from repro.runtime.schedulers.dm import DMScheduler
+from repro.sim import Simulator
+
+PLATFORMS = ["24-Intel-2-V100", "32-AMD-4-A100"]
+
+
+def _run(platform: str, scheduler: str):
+    sim = Simulator()
+    node = build_platform(platform, sim)
+    runtime = RuntimeSystem(node, scheduler=scheduler, seed=0)
+    spec = operation_spec(platform, "potrf", "double", "tiny")
+    return runtime.run(spec.build_graph())
+
+
+@pytest.mark.parametrize("platform", PLATFORMS)
+@pytest.mark.parametrize("name", sorted(SCHEDULERS))
+def test_fast_placement_matches_brute_force(monkeypatch, platform, name):
+    fast = _run(platform, name)
+    monkeypatch.setattr(DMScheduler, "brute_force_placement", True)
+    brute = _run(platform, name)
+    assert fast.makespan_s == brute.makespan_s
+    assert fast.energies_j == brute.energies_j
+    assert fast.worker_tasks == brute.worker_tasks
+    assert fast.bytes_transferred == brute.bytes_transferred
+
+
+@pytest.mark.parametrize("platform", PLATFORMS)
+def test_placement_evals_bounded_by_classes(platform):
+    """At most one expensive evaluation per (task, equivalence class)."""
+    result = _run(platform, "dmdas")
+    node = build_platform(platform, Simulator())
+    n_classes = node.n_gpus + len(node.cpus)  # each GPU and package is a class
+    assert 0 < result.n_placement_evals <= n_classes * result.n_tasks
+
+
+def test_brute_force_counts_per_worker(monkeypatch):
+    """Sanity: the flag really switches to per-worker evaluation."""
+    monkeypatch.setattr(DMScheduler, "brute_force_placement", True)
+    brute = _run("24-Intel-2-V100", "dm")
+    monkeypatch.undo()
+    fast = _run("24-Intel-2-V100", "dm")
+    # 24-Intel-2-V100 has 24 CPU workers + 2 GPU workers but only 4 classes,
+    # so brute force must evaluate strictly more placements.
+    assert brute.n_placement_evals > fast.n_placement_evals
