@@ -1,0 +1,106 @@
+"""Compare a fresh ``BENCH_perf.json`` against the committed baseline.
+
+The committed ``BENCH_baseline.json`` was produced on one specific machine;
+CI runners are slower or faster, so comparing raw tasks/s across machines
+would flag phantom regressions.  The bare event engine
+(``sim_events_per_sec``) exercises no code that the observability layer (or
+most PRs) touch, which makes it a usable machine-speed probe: the check
+normalises the expected runtime throughput by the ratio of the two
+machines' event-engine numbers, then requires
+
+    runtime_tasks_per_sec  >=  (1 - max_regression/100) * expected
+
+``placement_evals_per_task`` is machine-independent and must not grow at
+all beyond rounding: it is the equivalence-class bound that
+``docs/performance.md`` documents.
+
+Usage (what CI runs, with instrumentation off by construction)::
+
+    PYTHONPATH=src python benchmarks/perf/bench_perf.py --out BENCH_perf.json
+    python benchmarks/perf/check_regression.py BENCH_perf.json
+
+Exit code 0 = within budget, 1 = regression, 2 = malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "BENCH_baseline.json"
+
+
+def check(
+    current: dict,
+    baseline: dict,
+    max_regression_pct: float = 5.0,
+    normalize: bool = True,
+) -> list[str]:
+    """Return a list of failure messages (empty = pass)."""
+    failures: list[str] = []
+
+    speed_ratio = 1.0
+    if normalize:
+        speed_ratio = current["sim_events_per_sec"] / baseline["sim_events_per_sec"]
+
+    expected = baseline["runtime_tasks_per_sec"] * speed_ratio
+    actual = current["runtime_tasks_per_sec"]
+    regression_pct = 100.0 * (expected - actual) / expected
+    line = (
+        f"runtime_tasks_per_sec: {actual:.0f} vs expected {expected:.0f} "
+        f"(baseline {baseline['runtime_tasks_per_sec']:.0f} x machine-speed "
+        f"ratio {speed_ratio:.3f}) -> {regression_pct:+.1f}% regression "
+        f"(budget {max_regression_pct:.1f}%)"
+    )
+    print(line)
+    if regression_pct > max_regression_pct:
+        failures.append(line)
+
+    evals = current["placement_evals_per_task"]
+    bound = baseline["placement_evals_per_task"] * 1.01
+    print(
+        f"placement_evals_per_task: {evals:.3f} "
+        f"(baseline {baseline['placement_evals_per_task']:.3f})"
+    )
+    if evals > bound:
+        failures.append(
+            f"placement_evals_per_task grew: {evals:.3f} > {bound:.3f} "
+            "(the equivalence-class bound is machine-independent)"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="fresh BENCH_perf.json")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--max-regression-pct", type=float, default=5.0)
+    parser.add_argument(
+        "--no-normalize", action="store_true",
+        help="compare raw numbers without the machine-speed correction",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        current = json.loads(args.current.read_text())
+        baseline = json.loads(args.baseline.read_text())
+        failures = check(
+            current, baseline,
+            max_regression_pct=args.max_regression_pct,
+            normalize=not args.no_normalize,
+        )
+    except (OSError, KeyError, ValueError, ZeroDivisionError) as exc:
+        print(f"error: {exc!r}", file=sys.stderr)
+        return 2
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("perf within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

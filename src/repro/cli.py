@@ -6,6 +6,8 @@ Three families of commands::
     repro all | list                     # everything / enumerate
     repro sweep --model ... --n ...      # ad-hoc kernel cap sweep (Sec. II)
     repro tradeoff --platform ... --config HHBB ...   # ad-hoc app run (Sec. V)
+    repro trace --config HL --outdir runs/hl          # instrumented run + artefacts
+    repro report runs/hl                              # audit a traced run
 """
 
 from __future__ import annotations
@@ -38,6 +40,10 @@ def build_parser() -> argparse.ArgumentParser:
             "results are bit-identical to --jobs 1",
         )
         p.add_argument("--csv", action="store_true")
+        p.add_argument(
+            "--outdir", default=None, metavar="DIR",
+            help="also write result.txt/result.csv/manifest.json under DIR/<name>",
+        )
 
     sub.add_parser("list", help="list available experiments")
 
@@ -59,6 +65,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="worker processes for the config ladder (0 = one per core)")
     p.add_argument("--csv", action="store_true")
+
+    p = sub.add_parser(
+        "trace",
+        help="run one cap config fully instrumented; write trace + decision "
+        "log + manifest to --outdir",
+    )
+    p.add_argument("--platform", default="24-Intel-2-V100")
+    p.add_argument("--op", choices=["gemm", "potrf"], default="gemm")
+    p.add_argument("--precision", choices=["single", "double"], default="double")
+    p.add_argument("--config", required=True, help="cap config letters, e.g. HL")
+    p.add_argument("--scale", choices=SCALES, default="small")
+    p.add_argument("--scheduler", default="dmdas")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--outdir", required=True, metavar="DIR")
+    p.add_argument("--power-period", type=float, default=0.005, metavar="S",
+                   help="power sampling period in simulated seconds")
+    p.add_argument("--report", action="store_true",
+                   help="print the run report after tracing")
+
+    p = sub.add_parser("report", help="summarize a traced run directory")
+    p.add_argument("rundir", help="directory written by `repro trace`")
+    p.add_argument("--max-gaps", type=int, default=8,
+                   help="idle gaps to list (longest first)")
     return parser
 
 
@@ -130,6 +159,38 @@ def _cmd_tradeoff(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.core.capconfig import CapConfig
+    from repro.experiments.platforms import cap_states, operation_spec
+    from repro.obs.capture import run_traced
+    from repro.obs.report import render_report
+
+    spec = operation_spec(args.platform, args.op, args.precision, args.scale)
+    states = cap_states(args.platform, args.op, args.precision, args.scale)
+    traced = run_traced(
+        args.platform, spec, CapConfig(args.config.upper()), states,
+        outdir=args.outdir, scheduler=args.scheduler, seed=args.seed,
+        scale=args.scale, power_period_s=args.power_period,
+    )
+    sys.stdout.write(
+        f"wrote {traced.outdir}: manifest.json result.json decisions.jsonl "
+        f"events.jsonl trace.json metrics.prom\n"
+        f"  {traced.result.n_tasks} tasks, {len(traced.decisions)} decisions, "
+        f"{len(traced.sampler.samples)} power samples, "
+        f"makespan {traced.result.makespan_s:.4f}s\n"
+    )
+    if args.report:
+        sys.stdout.write("\n" + render_report(str(traced.outdir)))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.obs.report import render_report
+
+    sys.stdout.write(render_report(args.rundir, max_gaps=args.max_gaps))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -140,6 +201,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "tradeoff":
         return _cmd_tradeoff(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "report":
+        return _cmd_report(args)
     names = sorted(EXPERIMENTS) if args.command == "all" else [args.command]
     for name in names:
         t0 = time.time()
@@ -152,6 +217,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         result = fn(**kwargs)
         _emit(result, args.csv)
         sys.stdout.write(f"  ({time.time() - t0:.1f}s wall)\n\n")
+        if args.outdir:
+            outpath = result.write_outputs(
+                args.outdir,
+                provenance={"scale": args.scale, "seed": args.seed},
+            )
+            sys.stdout.write(f"  (saved to {outpath})\n")
     return 0
 
 

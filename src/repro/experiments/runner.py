@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Sequence
+from pathlib import Path
+from typing import Optional, Sequence
 
 from repro.core.reporting import format_table, to_csv
 
@@ -45,3 +47,30 @@ class ExperimentResult:
             if row[idx] == value:
                 return row
         raise KeyError(f"no row with {header}={value!r}")
+
+    def write_outputs(self, outdir: str, provenance: Optional[dict] = None) -> Path:
+        """Persist the result (and its provenance) under ``outdir``.
+
+        Writes ``result.txt`` (the rendered table), ``result.csv`` and
+        ``manifest.json``; experiments invoked with ``--outdir`` route here
+        so every saved artefact records how it was produced.  Returns the
+        directory actually written (``outdir/<name>``).
+        """
+        from repro.obs.manifest import code_version
+
+        out = Path(outdir) / self.name
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "result.txt").write_text(self.table())
+        (out / "result.csv").write_text(self.csv())
+        manifest = {
+            "schema": 1,
+            "experiment": self.name,
+            "title": self.title,
+            "headers": list(self.headers),
+            "notes": list(self.notes),
+            "version": code_version(),
+        }
+        if provenance:
+            manifest.update(provenance)
+        (out / "manifest.json").write_text(json.dumps(manifest, indent=2) + "\n")
+        return out

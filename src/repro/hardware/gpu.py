@@ -57,6 +57,9 @@ class GPUDevice:
         # Kernel-model scratch cache (e.g. tile-op ground-truth durations),
         # valid for the current cap only; cleared alongside the cache above.
         self.kernel_time_cache: dict = {}
+        # Operating-point cache traffic, exported by the observability layer.
+        self.n_op_cache_hits = 0
+        self.n_op_cache_misses = 0
 
     # ------------------------------------------------------------ accounting
 
@@ -120,10 +123,13 @@ class GPUDevice:
         key = (precision, activity)
         point = self._op_point_cache.get(key)
         if point is None:
+            self.n_op_cache_misses += 1
             profile = self.spec.power_profiles[precision]
             f = profile.freq_at_cap(self._power_limit_w, activity)
             point = (f, profile.power(f, activity))
             self._op_point_cache[key] = point
+        else:
+            self.n_op_cache_hits += 1
         return point
 
     def effective_freq(self, precision: str, activity: float = 1.0) -> float:

@@ -1,0 +1,161 @@
+"""Fully-instrumented single runs: the ``repro trace`` backend.
+
+:func:`run_traced` mirrors :func:`repro.core.tradeoff.run_operation` but
+switches every observability layer on — tracer, metrics registry, scheduler
+decision log, power sampler — and writes a self-describing run directory:
+
+========================  ====================================================
+``manifest.json``         provenance (:class:`repro.obs.manifest.RunManifest`)
+``result.json``           aggregate :class:`~repro.runtime.engine.RunResult`
+``decisions.jsonl``       scheduler decision log, one record per task
+``events.jsonl``          merged time-ordered event stream
+``trace.json``            Perfetto trace with power/backlog counter tracks
+``metrics.prom``          Prometheus text snapshot of the metrics registry
+========================  ====================================================
+
+``repro report`` consumes such a directory; see :mod:`repro.obs.report`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Optional
+
+from repro.core.capconfig import CapConfig, CapStates
+from repro.core.tradeoff import OperationSpec
+from repro.energy.meters import EnergyMeter
+from repro.hardware.catalog import build_platform
+from repro.obs.decisions import DecisionLog
+from repro.obs.exporters import (
+    DECISIONS_FILENAME,
+    EVENTS_FILENAME,
+    METRICS_FILENAME,
+    RESULT_FILENAME,
+    TRACE_FILENAME,
+    write_enriched_chrome_trace,
+    write_events_jsonl,
+)
+from repro.obs.manifest import RunManifest, code_version
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime import RuntimeSystem
+from repro.runtime.engine import RunResult
+from repro.sim import Simulator, Tracer
+from repro.tools.powertrace import PowerSampler
+
+
+@dataclass
+class TracedRun:
+    """Everything produced by one instrumented run."""
+
+    outdir: Path
+    result: RunResult
+    manifest: RunManifest
+    registry: MetricsRegistry
+    decisions: DecisionLog
+    tracer: Tracer
+    sampler: PowerSampler
+
+
+def result_record(result: RunResult, extra: Optional[dict] = None) -> dict:
+    """JSON-friendly dump of a :class:`RunResult` (plus derived figures)."""
+    rec = {
+        "makespan_s": result.makespan_s,
+        "energies_j": result.energies_j,
+        "total_energy_j": result.total_energy_j,
+        "total_flops": result.total_flops,
+        "gflops": result.gflops,
+        "gflops_per_watt": result.gflops_per_watt,
+        "n_tasks": result.n_tasks,
+        "scheduler": result.scheduler,
+        "worker_tasks": result.worker_tasks,
+        "gpu_caps_w": result.gpu_caps_w,
+        "cpu_caps_w": result.cpu_caps_w,
+        "bytes_transferred": result.bytes_transferred,
+        "n_evictions": result.n_evictions,
+        "n_placement_evals": result.n_placement_evals,
+    }
+    if extra:
+        rec.update(extra)
+    return rec
+
+
+def run_traced(
+    platform: str,
+    spec: OperationSpec,
+    config: CapConfig,
+    states: CapStates,
+    outdir: str,
+    scheduler: str = "dmdas",
+    seed: int = 0,
+    cpu_caps: Optional[Mapping[int, float]] = None,
+    scale: str = "custom",
+    power_period_s: float = 0.005,
+) -> TracedRun:
+    """Run one (platform, operation, cap config) with full observability and
+    dump the artefact directory."""
+    out = Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    sim = Simulator()
+    tracer = Tracer()
+    node = build_platform(platform, sim, tracer)
+    if config.n_gpus != node.n_gpus:
+        raise ValueError(
+            f"config {config.letters} has {config.n_gpus} states for "
+            f"{node.n_gpus} GPUs on {platform}"
+        )
+    node.set_gpu_caps(config.watts(states))
+    applied_cpu_caps: dict[str, float] = {}
+    if cpu_caps:
+        for pkg, watts in cpu_caps.items():
+            node.cpus[pkg].set_power_limit(watts)
+            applied_cpu_caps[f"cpu{pkg}"] = watts
+
+    registry = MetricsRegistry(clock=sim)
+    decisions = DecisionLog()
+    runtime = RuntimeSystem(
+        node, scheduler=scheduler, seed=seed, tracer=tracer,
+        metrics=registry, decision_log=decisions,
+    )
+    sampler = PowerSampler(node, runtime, period_s=power_period_s)
+    sampler.start()
+    meter = EnergyMeter(node)
+    meter.start()
+    result = runtime.run(spec.build_graph(), reset_energy=False)
+    measurement = meter.stop()
+
+    manifest = RunManifest(
+        platform=platform,
+        scheduler=scheduler,
+        config=config.letters,
+        gpu_caps_w=tuple(config.watts(states)),
+        op=spec.op,
+        n=spec.n,
+        nb=spec.nb,
+        precision=spec.precision,
+        scale=scale,
+        seed=seed,
+        cpu_caps_w=applied_cpu_caps,
+        version=code_version(),
+    )
+    manifest.write(out)
+    (out / RESULT_FILENAME).write_text(json.dumps(result_record(
+        result,
+        extra={
+            "measured_duration_s": measurement.duration_s,
+            "measured_total_j": measurement.total_j,
+            "measured_cpu_j": measurement.cpu_j,
+            "measured_gpu_j": measurement.gpu_j,
+        },
+    ), indent=2) + "\n")
+    decisions.write_jsonl(str(out / DECISIONS_FILENAME))
+    write_events_jsonl(str(out / EVENTS_FILENAME), tracer, decisions, sampler)
+    write_enriched_chrome_trace(str(out / TRACE_FILENAME), tracer, sampler, decisions)
+    (out / METRICS_FILENAME).write_text(registry.to_prometheus())
+
+    return TracedRun(
+        outdir=out, result=result, manifest=manifest, registry=registry,
+        decisions=decisions, tracer=tracer, sampler=sampler,
+    )

@@ -1,0 +1,127 @@
+"""Exporters: JSONL event stream and enriched Perfetto traces.
+
+Three consumers of one run's telemetry:
+
+- :func:`write_events_jsonl` — a single time-ordered JSONL stream merging
+  trace intervals, instant points, scheduler decisions and power samples;
+  ``repro report`` reads this back, and it greps/jqs well.
+- :func:`backlog_counter_tracks` — per-worker backlog series recovered from
+  the decision log's backlog snapshots.
+- :func:`enriched_chrome_trace` — the Perfetto document with counter tracks
+  (per-device instantaneous power, per-worker backlog) attached, so power
+  dips render aligned with cap states and task rows.
+
+Prometheus text snapshots come from
+:meth:`repro.obs.metrics.MetricsRegistry.to_prometheus`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.obs.decisions import DecisionLog
+from repro.sim.tracing import Tracer
+from repro.tools.chrometrace import CounterTrack, to_chrome_trace
+
+EVENTS_FILENAME = "events.jsonl"
+TRACE_FILENAME = "trace.json"
+DECISIONS_FILENAME = "decisions.jsonl"
+METRICS_FILENAME = "metrics.prom"
+RESULT_FILENAME = "result.json"
+
+
+def iter_events(
+    tracer: Optional[Tracer] = None,
+    decisions: Optional[DecisionLog] = None,
+    sampler=None,
+) -> list[dict]:
+    """Merge telemetry sources into one time-sorted list of event dicts.
+
+    Every event carries ``t`` (simulated seconds) and ``type`` (``interval``,
+    ``point``, ``decision`` or ``power``); ``sampler`` is anything with a
+    ``samples`` list of :class:`~repro.tools.powertrace.PowerSample`.
+    """
+    events: list[dict] = []
+    if tracer is not None:
+        for iv in tracer.intervals:
+            events.append({
+                "t": iv.start, "type": "interval", "resource": iv.resource,
+                "kind": iv.kind, "end": iv.end, "label": iv.label, **iv.info,
+            })
+        for point in tracer.points:
+            events.append({
+                "t": point.time, "type": "point", "resource": point.resource,
+                "kind": point.kind, "label": point.label, **point.info,
+            })
+    if decisions is not None:
+        for rec in decisions:
+            events.append({"t": rec.time, "type": "decision", **rec.to_record()})
+    if sampler is not None:
+        for sample in sampler.samples:
+            events.append({
+                "t": sample.time_s, "type": "power",
+                "total_w": sample.total_w, **sample.device_w,
+            })
+    events.sort(key=lambda e: e["t"])
+    return events
+
+
+def write_events_jsonl(
+    path: str,
+    tracer: Optional[Tracer] = None,
+    decisions: Optional[DecisionLog] = None,
+    sampler=None,
+) -> int:
+    """Write the merged event stream; returns the number of events."""
+    events = iter_events(tracer, decisions, sampler)
+    with open(path, "w") as fh:
+        for event in events:
+            fh.write(json.dumps(event) + "\n")
+    return len(events)
+
+
+def read_events_jsonl(path: str) -> list[dict]:
+    with open(path) as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+def backlog_counter_tracks(decisions: DecisionLog) -> list[CounterTrack]:
+    """Per-worker backlog (seconds of queued estimated work) over time.
+
+    Sampled at decision times — exactly the values the scheduler folded
+    into its costs, so the tracks explain the decisions they sit next to.
+    """
+    series: dict[str, list[tuple[float, float]]] = {}
+    for rec in decisions:
+        for worker, backlog in rec.backlog_snapshot().items():
+            series.setdefault(worker, []).append((rec.time, backlog))
+    return [
+        CounterTrack.from_samples(f"backlog {worker}", points, unit="s")
+        for worker, points in sorted(series.items())
+    ]
+
+
+def enriched_chrome_trace(
+    tracer: Tracer,
+    sampler=None,
+    decisions: Optional[DecisionLog] = None,
+    time_unit_us: float = 1e6,
+) -> dict:
+    """Perfetto document with power and backlog counter tracks attached."""
+    counters: list[CounterTrack] = []
+    if sampler is not None:
+        counters.extend(sampler.counter_tracks())
+    if decisions is not None:
+        counters.extend(backlog_counter_tracks(decisions))
+    return to_chrome_trace(tracer, time_unit_us=time_unit_us, counters=counters)
+
+
+def write_enriched_chrome_trace(
+    path: str,
+    tracer: Tracer,
+    sampler=None,
+    decisions: Optional[DecisionLog] = None,
+) -> None:
+    with open(path, "w") as fh:
+        json.dump(enriched_chrome_trace(tracer, sampler, decisions), fh)

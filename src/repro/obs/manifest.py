@@ -1,0 +1,99 @@
+"""Run manifests: provenance for every experiment artefact.
+
+A :class:`RunManifest` pins down everything needed to reproduce one run —
+platform, cap configuration (the paper's ``HHBB`` strings plus the actual
+watt values), scheduler, operation geometry, RNG seed and code version — and
+is written as ``manifest.json`` alongside the run's outputs.  ``repro
+report`` reads it back to label its tables (e.g. which GPU sat in which cap
+state).
+"""
+
+from __future__ import annotations
+
+import json
+import platform as _platform
+import subprocess
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Optional
+
+MANIFEST_FILENAME = "manifest.json"
+MANIFEST_SCHEMA = 1
+
+
+def code_version(repo_dir: Optional[str] = None) -> str:
+    """``git describe``-style version of the running code, best effort."""
+    start = Path(repo_dir) if repo_dir else Path(__file__).resolve().parent
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=start, capture_output=True, text=True, timeout=5,
+        )
+        if out.returncode == 0 and out.stdout.strip():
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    try:
+        from repro import __version__
+
+        return f"v{__version__}"
+    except ImportError:  # pragma: no cover - repro is always importable here
+        return "unknown"
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Provenance record for one simulated run."""
+
+    platform: str
+    scheduler: str
+    config: str                      # cap letters, e.g. "HHBB"
+    gpu_caps_w: tuple[float, ...]    # resolved watts per GPU
+    op: str
+    n: int
+    nb: int
+    precision: str
+    scale: str
+    seed: int
+    cpu_caps_w: dict[str, float] = field(default_factory=dict)
+    version: str = ""
+    python: str = field(default_factory=lambda: sys.version.split()[0])
+    host: str = field(default_factory=_platform.node)
+    created_unix: float = field(default_factory=time.time)
+    schema: int = MANIFEST_SCHEMA
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def gpu_states(self) -> dict[str, str]:
+        """Per-GPU cap-state letter, e.g. ``{"gpu0": "H", "gpu1": "L"}``."""
+        return {f"gpu{i}": letter for i, letter in enumerate(self.config)}
+
+    def to_dict(self) -> dict:
+        doc = asdict(self)
+        doc["gpu_caps_w"] = list(self.gpu_caps_w)
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "RunManifest":
+        doc = dict(doc)
+        doc["gpu_caps_w"] = tuple(doc.get("gpu_caps_w", ()))
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = {k: v for k, v in doc.items() if k not in known}
+        doc = {k: v for k, v in doc.items() if k in known}
+        if unknown:
+            doc.setdefault("extra", {}).update(unknown)
+        return cls(**doc)
+
+    # ------------------------------------------------------------------- io
+
+    def write(self, outdir: str) -> Path:
+        path = Path(outdir) / MANIFEST_FILENAME
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def read(cls, rundir: str) -> "RunManifest":
+        path = Path(rundir) / MANIFEST_FILENAME
+        return cls.from_dict(json.loads(path.read_text()))

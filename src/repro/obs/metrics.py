@@ -1,0 +1,262 @@
+"""Metrics primitives: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is the single sink for runtime instrumentation.
+It is sampled on the *simulation* clock (pass the registry a clock so gauge
+series carry simulated timestamps) and is deliberately dependency-free: the
+runtime imports this module, never the other way around, so observability
+can be bolted onto any layer without cycles.
+
+Everything is opt-in.  A :class:`RuntimeSystem` built without a registry
+keeps its hot paths free of metric calls; when a registry is attached the
+cost is one ``dict`` lookup plus an integer/float update per event.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Iterable, Optional, Sequence
+
+LabelItems = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[dict]) -> LabelItems:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _label_str(items: LabelItems) -> str:
+    if not items:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in items) + "}"
+
+
+class Counter:
+    """A monotonically increasing value (events, bytes, cache hits)."""
+
+    __slots__ = ("name", "help", "labels", "value")
+
+    def __init__(self, name: str, help: str = "", labels: LabelItems = ()) -> None:
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value; optionally keeps its full timestamped series."""
+
+    __slots__ = ("name", "help", "labels", "value", "series", "_track")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: LabelItems = (),
+        track_series: bool = False,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.value = 0.0
+        self._track = track_series
+        self.series: list[tuple[float, float]] = []
+
+    def set(self, value: float, t: Optional[float] = None) -> None:
+        self.value = float(value)
+        if self._track and t is not None:
+            self.series.append((t, self.value))
+
+    def add(self, delta: float, t: Optional[float] = None) -> None:
+        self.set(self.value + delta, t)
+
+
+class Histogram:
+    """Fixed-bucket histogram (Prometheus semantics: cumulative ``le``)."""
+
+    __slots__ = ("name", "help", "labels", "buckets", "counts", "count", "sum")
+
+    #: Default buckets span sub-millisecond tile kernels up to whole runs.
+    DEFAULT_BUCKETS = (
+        1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0
+    )
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: LabelItems = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +inf overflow bucket
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the bucket)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for bound, n in zip(self.buckets, self.counts):
+            seen += n
+            if seen >= target:
+                return bound
+        return float("inf")
+
+
+MetricType = (Counter, Gauge, Histogram)
+
+
+class MetricsRegistry:
+    """Named metrics with labels, exportable as Prometheus text or records.
+
+    ``clock`` is anything with a ``now`` attribute (the Simulator); gauges
+    registered with ``track_series=True`` timestamp their samples with it.
+    """
+
+    def __init__(self, clock=None) -> None:
+        self._clock = clock
+        self._metrics: dict[tuple[str, LabelItems], object] = {}
+        self._help: dict[str, str] = {}
+        self._kind: dict[str, type] = {}
+
+    @property
+    def now(self) -> Optional[float]:
+        return self._clock.now if self._clock is not None else None
+
+    # --------------------------------------------------------------- factory
+
+    def _get(self, cls, name: str, help: str, labels: Optional[dict], **kwargs):
+        known = self._kind.get(name)
+        if known is not None and known is not cls:
+            raise ValueError(
+                f"metric {name!r} already registered as {known.__name__}"
+            )
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, help or self._help.get(name, ""), key[1], **kwargs)
+            self._metrics[key] = metric
+            self._kind[name] = cls
+            if help:
+                self._help.setdefault(name, help)
+        return metric
+
+    def counter(self, name: str, help: str = "", labels: Optional[dict] = None) -> Counter:
+        return self._get(Counter, name, help, labels)
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[dict] = None,
+        track_series: bool = False,
+    ) -> Gauge:
+        return self._get(Gauge, name, help, labels, track_series=track_series)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[dict] = None,
+        buckets: Sequence[float] = Histogram.DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get(Histogram, name, help, labels, buckets=buckets)
+
+    # ---------------------------------------------------------------- access
+
+    def __iter__(self) -> Iterable:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str, labels: Optional[dict] = None):
+        return self._metrics.get((name, _label_key(labels)))
+
+    def names(self) -> list[str]:
+        return list(self._kind)
+
+    # --------------------------------------------------------------- export
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format snapshot."""
+        lines: list[str] = []
+        by_name: dict[str, list] = {}
+        for (name, _), metric in self._metrics.items():
+            by_name.setdefault(name, []).append(metric)
+        for name, metrics in by_name.items():
+            kind = self._kind[name]
+            type_str = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}[kind]
+            help_str = self._help.get(name, "")
+            if help_str:
+                lines.append(f"# HELP {name} {help_str}")
+            lines.append(f"# TYPE {name} {type_str}")
+            for m in metrics:
+                label_s = _label_str(m.labels)
+                if kind is Histogram:
+                    cumulative = 0
+                    for bound, n in zip(m.buckets, m.counts):
+                        cumulative += n
+                        le = _label_str(m.labels + (("le", f"{bound:g}"),))
+                        lines.append(f"{name}_bucket{le} {cumulative}")
+                    le = _label_str(m.labels + (("le", "+Inf"),))
+                    lines.append(f"{name}_bucket{le} {m.count}")
+                    lines.append(f"{name}_sum{label_s} {m.sum:g}")
+                    lines.append(f"{name}_count{label_s} {m.count}")
+                else:
+                    lines.append(f"{name}{label_s} {m.value:g}")
+        return "\n".join(lines) + "\n"
+
+    def to_records(self) -> list[dict]:
+        """Flatten every metric to a plain dict (JSONL friendly)."""
+        records = []
+        for (name, labels), m in self._metrics.items():
+            rec: dict = {
+                "metric": name,
+                "type": self._kind[name].__name__.lower(),
+                "labels": dict(labels),
+            }
+            if isinstance(m, Histogram):
+                rec.update(
+                    buckets=list(m.buckets),
+                    counts=list(m.counts),
+                    sum=m.sum,
+                    count=m.count,
+                )
+            else:
+                rec["value"] = m.value
+                if isinstance(m, Gauge) and m.series:
+                    rec["series"] = [[t, v] for t, v in m.series]
+            records.append(rec)
+        return records
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as fh:
+            for rec in self.to_records():
+                fh.write(json.dumps(rec) + "\n")

@@ -168,6 +168,9 @@ class DataManager:
         }
         self.bytes_transferred = 0
         self.n_transfers = 0
+        # Estimate-memo traffic, exported by the observability layer.
+        self.n_memo_hits = 0
+        self.n_memo_misses = 0
         # Arrival times of in-flight replicas: (handle id, node) -> abs time.
         self._arrival: dict[tuple[int, int], float] = {}
         # Scoped memo for transfer_estimate; active only inside
@@ -209,7 +212,9 @@ class DataManager:
             key = (id(handles), target)
             cached = memo.get(key)
             if cached is not None:
+                self.n_memo_hits += 1
                 return cached
+            self.n_memo_misses += 1
         total = 0.0
         for handle, mode in handles:
             if not mode.reads or target in handle.valid_nodes:

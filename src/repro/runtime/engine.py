@@ -25,6 +25,8 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.hardware.node import Node
+from repro.obs.decisions import DecisionLog
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime.data import DataManager
 from repro.runtime.graph import Task, TaskGraph, TaskState
 from repro.runtime.perfmodel import HistoryModel, PerfModelSet, model_key
@@ -102,6 +104,8 @@ class RuntimeSystem:
         calib_noise: float = 0.03,
         prefetch_depth: int = 3,
         ewma_alpha: Optional[float] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        decision_log: Optional[DecisionLog] = None,
     ) -> None:
         if not isinstance(node.clock, Simulator):
             raise RuntimeError_("node must be built on a Simulator clock")
@@ -117,6 +121,10 @@ class RuntimeSystem:
         self.exec_noise = exec_noise
         self.calib_noise = calib_noise
         self.prefetch_depth = prefetch_depth
+        # Observability (off by default: both None keeps hot paths clean).
+        self.metrics = metrics
+        self.decision_log = decision_log
+        self._ready_at: dict[int, float] = {}
         self._scheduler = None
         self._remaining = 0
 
@@ -178,14 +186,19 @@ class RuntimeSystem:
             self.scheduler_name, self.workers, self.perf, self.data,
             self.rng.stream("scheduler"),
         )
+        if self.decision_log is not None:
+            self._scheduler.decision_log = self.decision_log
         self._exec_rng = self.rng.stream("exec")
         self._update_models = update_models
         self._remaining = len(graph.tasks)
         for w in self.workers:
             w.busy = False
         self._set_spinning(True)
+        metrics = self.metrics
         for task in graph.roots():
             task.state = TaskState.READY
+            if metrics is not None:
+                self._ready_at[task.tid] = self.sim.now
             self._scheduler.push_ready(task, self.sim.now)
         self._dispatch_all()
         self.sim.run()
@@ -219,6 +232,8 @@ class RuntimeSystem:
             n_evictions=sum(m.n_evictions for m in self.data.managers.values()),
             n_placement_evals=getattr(self._scheduler, "n_placement_evals", 0),
         )
+        if self.metrics is not None:
+            self._flush_metrics(result)
         self._scheduler = None
         return result
 
@@ -250,6 +265,75 @@ class RuntimeSystem:
             if not w.busy and scheduler.has_work_for(w):
                 self._try_start(w)
 
+    def _flush_metrics(self, result: RunResult) -> None:
+        """Publish run-level totals into the attached registry.
+
+        Counters are cumulative across runs of this ``RuntimeSystem``, so
+        each flush raises them to the underlying monotonic totals instead of
+        re-adding them.
+        """
+        m = self.metrics
+
+        def set_total(name: str, help: str, total: float, labels=None) -> None:
+            counter = m.counter(name, help, labels=labels)
+            counter.inc(total - counter.value)
+
+        data = self.data
+        set_total("repro_transfer_bytes_total",
+                  "Bytes moved over the PCIe links.", data.bytes_transferred)
+        set_total("repro_transfers_total",
+                  "Individual link reservations.", data.n_transfers)
+        set_total("repro_evictions_total", "LRU device-memory evictions.",
+                  sum(mgr.n_evictions for mgr in data.managers.values()))
+        set_total("repro_transfer_memo_total",
+                  "Scoped transfer-estimate memo lookups.",
+                  data.n_memo_hits, labels={"result": "hit"})
+        set_total("repro_transfer_memo_total",
+                  "Scoped transfer-estimate memo lookups.",
+                  data.n_memo_misses, labels={"result": "miss"})
+        perf = self.perf
+        set_total("repro_perfmodel_cache_total",
+                  "Resolved-estimate cache lookups.",
+                  perf.n_cache_hits, labels={"result": "hit"})
+        set_total("repro_perfmodel_cache_total",
+                  "Resolved-estimate cache lookups.",
+                  perf.n_cache_misses, labels={"result": "miss"})
+        set_total("repro_gpu_op_point_cache_total",
+                  "GPU operating-point cache lookups.",
+                  sum(g.n_op_cache_hits for g in self.node.gpus),
+                  labels={"result": "hit"})
+        set_total("repro_gpu_op_point_cache_total",
+                  "GPU operating-point cache lookups.",
+                  sum(g.n_op_cache_misses for g in self.node.gpus),
+                  labels={"result": "miss"})
+        set_total("repro_sim_events_total",
+                  "Discrete events processed by the simulator.",
+                  self.sim.n_processed)
+        scheduler = self._scheduler
+        if scheduler is not None:
+            m.gauge("repro_placement_evals",
+                    "Expensive placement evaluations in the last run."
+                    ).set(scheduler.n_placement_evals)
+            m.gauge("repro_tasks_pushed",
+                    "Tasks pushed to the scheduler in the last run."
+                    ).set(scheduler.n_pushed)
+        m.gauge("repro_makespan_seconds",
+                "Makespan of the last run.").set(result.makespan_s)
+        for w in self.workers:
+            m.gauge("repro_worker_busy_seconds",
+                    "Cumulative busy time per worker.",
+                    labels={"worker": w.name}).set(w.busy_time)
+            m.gauge("repro_worker_tasks",
+                    "Cumulative tasks executed per worker.",
+                    labels={"worker": w.name}).set(w.n_tasks)
+        for device, joules in result.energies_j.items():
+            m.gauge("repro_device_energy_joules",
+                    "Energy of the last run per device.",
+                    labels={"device": device}).set(joules)
+        for i, cap in enumerate(result.gpu_caps_w):
+            m.gauge("repro_gpu_cap_watts", "Applied GPU power cap.",
+                    labels={"gpu": f"gpu{i}"}).set(cap)
+
     def _try_start(self, worker: WorkerType) -> None:
         task = self._scheduler.pop(worker, self.sim.now)
         if task is None:
@@ -263,8 +347,21 @@ class RuntimeSystem:
         task.state = TaskState.RUNNING
         task.worker_name = worker.name
         self._scheduler.task_started(task, worker, self.sim.now)
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.histogram(
+                "repro_queue_wait_seconds",
+                "Simulated time from task-ready to worker pop.",
+                labels={"arch": worker.arch},
+            ).observe(self.sim.now - self._ready_at.pop(task.tid, self.sim.now))
         target = worker.mem_node
         ready = self.data.acquire(task.accesses, target, self.sim.now, task.label)
+        if metrics is not None:
+            metrics.histogram(
+                "repro_stage_wait_seconds",
+                "Simulated transfer delay staging a task's inputs.",
+                labels={"arch": worker.arch},
+            ).observe(max(0.0, ready - self.sim.now))
         if isinstance(worker, GPUWorker):
             # The driver core busy-waits through staging and execution.
             worker.driver_package.begin_core()
@@ -305,11 +402,25 @@ class RuntimeSystem:
         worker.flops_done += task.op.flops
         if self._update_models:
             self.perf.record(task.op, worker.arch, duration)
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.histogram(
+                "repro_task_duration_seconds",
+                "Simulated kernel execution time.",
+                labels={"kind": task.op.kind, "arch": worker.arch},
+            ).observe(duration)
+            metrics.counter(
+                "repro_tasks_total",
+                "Tasks completed, by executing worker.",
+                labels={"worker": worker.name},
+            ).inc()
         self._scheduler.task_finished(task, worker, now)
         self._remaining -= 1
         for succ in task.successors:
             succ.deps_remaining -= 1
             if succ.deps_remaining == 0 and succ.state is TaskState.CREATED:
                 succ.state = TaskState.READY
+                if metrics is not None:
+                    self._ready_at[succ.tid] = now
                 self._scheduler.push_ready(succ, now)
         self._dispatch_all()

@@ -144,6 +144,9 @@ class PerfModelSet:
     _cache: dict[tuple[ModelKey, str], float] = field(
         default_factory=dict, repr=False, compare=False
     )
+    #: Estimate-cache traffic, exported by the observability layer.
+    n_cache_hits: int = 0
+    n_cache_misses: int = 0
 
     def record(self, op: TileOp, arch: str, duration: float) -> None:
         key = model_key(op)
@@ -154,7 +157,9 @@ class PerfModelSet:
         key = model_key(op)
         cached = self._cache.get((key, arch))
         if cached is not None:
+            self.n_cache_hits += 1
             return cached
+        self.n_cache_misses += 1
         est = self.history.estimate(key, arch)
         if est is None and self._regression is not None:
             est = self._regression.estimate(key, arch)

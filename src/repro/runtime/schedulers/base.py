@@ -24,6 +24,13 @@ class Scheduler(ABC):
     #: Whether the policy consults calibrated performance models.
     uses_perfmodel = False
 
+    #: Observability hook: a :class:`repro.obs.decisions.DecisionLog` (or any
+    #: object with an ``append(record)`` method).  ``None`` — the default —
+    #: disables decision logging entirely; model-based schedulers must not
+    #: build candidate records unless a log is attached, so the hot path
+    #: pays at most one ``is None`` check per decision when disabled.
+    decision_log = None
+
     def __init__(
         self,
         workers: Sequence[WorkerType],
@@ -46,6 +53,10 @@ class Scheduler(ABC):
         interchangeable up to their backlog (same duration estimates, same
         data-transfer penalty, same energy model)."""
         return (worker.arch, getattr(worker, "mem_node", None))
+
+    def placement_class_label(self, worker: WorkerType) -> str:
+        """Human-readable name of a worker's placement class (decision log)."""
+        return f"{worker.arch}@m{getattr(worker, 'mem_node', '?')}"
 
     def _build_placement_classes(self) -> list[list[tuple[int, WorkerType]]]:
         """Group workers by :meth:`placement_class_key`, preserving worker

@@ -28,6 +28,7 @@ import math
 from collections import deque
 from typing import Optional
 
+from repro.obs.decisions import CandidateClass, DecisionRecord
 from repro.runtime.graph import Task
 from repro.runtime.schedulers.base import Scheduler
 from repro.runtime.worker import WorkerType
@@ -77,34 +78,91 @@ class DMScheduler(Scheduler):
         The estimate is returned so callers never recompute the winning
         worker's model lookup after the scan already paid for it.
         """
+        log = self.decision_log
         if self.brute_force_placement:
             workers = self.eligible(task)
             costs = [self.placement_cost(task, w, now) for w in workers]
             self.n_placement_evals += len(workers)
-            best = workers[min(range(len(workers)), key=costs.__getitem__)]
+            best_i = min(range(len(workers)), key=costs.__getitem__)
+            best = workers[best_i]
+            if log is not None:
+                index_of = {w.name: i for i, w in enumerate(self.workers)}
+                log.append(self._decision_record(
+                    task, now, best.name, costs[best_i],
+                    # One pseudo-class per worker: the brute-force path may
+                    # run subclasses whose cost does not decompose into the
+                    # shared terms, so only the folded cost is authoritative.
+                    tuple(
+                        CandidateClass(
+                            class_key=self.placement_class_label(w),
+                            workers=(w.name,),
+                            indices=(index_of[w.name],),
+                            backlogs=(self._backlog[w.name],),
+                            terms=(),
+                            costs=(cost,),
+                        )
+                        for w, cost in zip(workers, costs)
+                    ),
+                ))
             return best, self.estimate(task, best)
         best: Optional[WorkerType] = None
         best_cost = math.inf
         best_index = -1
         best_est = 0.0
         backlog = self._backlog
+        candidates = [] if log is not None else None
         with self.data.estimate_cache():
             for members in self._placement_classes:
                 if not members[0][1].can_run(task.op):
                     continue
                 terms = self.placement_terms(task, members[0][1], now)
                 self.n_placement_evals += 1
+                member_costs = [] if candidates is not None else None
                 for index, worker in members:
                     cost = backlog[worker.name]
                     for term in terms:
                         cost += term
+                    if member_costs is not None:
+                        member_costs.append(cost)
                     if cost < best_cost or (cost == best_cost and index < best_index):
                         best, best_cost, best_index, best_est = (
                             worker, cost, index, terms[0],
                         )
+                if candidates is not None:
+                    candidates.append(CandidateClass(
+                        class_key=self.placement_class_label(members[0][1]),
+                        workers=tuple(w.name for _, w in members),
+                        indices=tuple(i for i, _ in members),
+                        backlogs=tuple(backlog[w.name] for _, w in members),
+                        terms=tuple(terms),
+                        costs=tuple(member_costs),
+                    ))
         if best is None:
             raise RuntimeError(f"no worker can run {task.op.kind!r}")
+        if log is not None:
+            log.append(self._decision_record(
+                task, now, best.name, best_cost, tuple(candidates)
+            ))
         return best, best_est
+
+    def _decision_record(
+        self,
+        task: Task,
+        now: float,
+        chosen: str,
+        chosen_cost: float,
+        candidates: tuple[CandidateClass, ...],
+    ) -> DecisionRecord:
+        return DecisionRecord(
+            tid=task.tid,
+            label=task.label,
+            kind=task.op.kind,
+            time=now,
+            priority=task.priority,
+            chosen=chosen,
+            chosen_cost=chosen_cost,
+            candidates=candidates,
+        )
 
     # ------------------------------------------------------------------- api
 

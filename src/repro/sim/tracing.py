@@ -50,6 +50,11 @@ class Tracer:
         self.enabled = enabled
         self.intervals: list[Interval] = []
         self.points: list[Point] = []
+        # Per-resource interval index, maintained on append so the query
+        # helpers stay O(resource's intervals) instead of rescanning the
+        # full list — report generation over large traces was quadratic.
+        # Insertion order doubles as first-appearance order for resources().
+        self._by_resource: dict[str, list[Interval]] = {}
 
     def interval(
         self,
@@ -64,7 +69,9 @@ class Tracer:
             return
         if end < start:
             raise ValueError(f"interval end {end} before start {start}")
-        self.intervals.append(Interval(resource, kind, start, end, label, info))
+        iv = Interval(resource, kind, start, end, label, info)
+        self.intervals.append(iv)
+        self._by_resource.setdefault(resource, []).append(iv)
 
     def point(self, resource: str, kind: str, time: float, label: str = "", **info: Any) -> None:
         if not self.enabled:
@@ -74,16 +81,13 @@ class Tracer:
     # ---------------------------------------------------------------- queries
 
     def by_resource(self, resource: str) -> list[Interval]:
-        return [iv for iv in self.intervals if iv.resource == resource]
+        return list(self._by_resource.get(resource, ()))
 
     def by_kind(self, kind: str) -> list[Interval]:
         return [iv for iv in self.intervals if iv.kind == kind]
 
     def resources(self) -> list[str]:
-        seen: dict[str, None] = {}
-        for iv in self.intervals:
-            seen.setdefault(iv.resource, None)
-        return list(seen)
+        return list(self._by_resource)
 
     def busy_time(self, resource: str, kinds: Optional[Iterable[str]] = None) -> float:
         """Total busy time on a resource, merging overlapping intervals."""
@@ -91,8 +95,8 @@ class Tracer:
         ivs = sorted(
             (
                 iv
-                for iv in self.intervals
-                if iv.resource == resource and (kindset is None or iv.kind in kindset)
+                for iv in self._by_resource.get(resource, ())
+                if kindset is None or iv.kind in kindset
             ),
             key=lambda iv: iv.start,
         )

@@ -4,23 +4,62 @@ Converts a :class:`~repro.sim.tracing.Tracer` into the Trace Event JSON
 format, one timeline row per resource, so executions can be inspected in
 any Perfetto-compatible viewer — the workflow StarPU users get from its
 FxT traces.
+
+Counter tracks (``ph: "C"``) can be attached alongside the timeline rows:
+Perfetto renders them as stacked area charts, which is how per-device
+instantaneous power and per-worker backlog line up against the task
+intervals (power dips become visible exactly where a cap state engages).
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
 
 from repro.sim.tracing import Tracer
 
 
-def to_chrome_trace(tracer: Tracer, time_unit_us: float = 1e6) -> dict:
+@dataclass(frozen=True)
+class CounterTrack:
+    """One named counter series, e.g. ``power gpu0`` in watts."""
+
+    name: str
+    series: tuple[tuple[float, float], ...]
+    unit: str = ""
+
+    @classmethod
+    def from_samples(cls, name: str, samples, unit: str = "") -> "CounterTrack":
+        return cls(name, tuple((float(t), float(v)) for t, v in samples), unit)
+
+
+def _resource_tids(tracer: Tracer) -> dict[str, int]:
+    """Stable tid per resource, covering interval *and* point resources.
+
+    Points on resources that never record an interval (e.g. a cap change on
+    an otherwise-idle GPU) used to collapse onto tid 0 with no thread-name
+    metadata; registering them here gives every resource its own named row.
+    """
+    tids = {name: i for i, name in enumerate(tracer.resources())}
+    for point in tracer.points:
+        if point.resource not in tids:
+            tids[point.resource] = len(tids)
+    return tids
+
+
+def to_chrome_trace(
+    tracer: Tracer,
+    time_unit_us: float = 1e6,
+    counters: Optional[Sequence[CounterTrack]] = None,
+) -> dict:
     """Build a trace-event dict (serialise with ``json.dumps``).
 
     ``time_unit_us`` scales simulated seconds to microsecond timestamps
-    (default: 1 simulated second = 1 second of trace time).
+    (default: 1 simulated second = 1 second of trace time).  ``counters``
+    are emitted as ``ph: "C"`` counter tracks on their own process row.
     """
     events = []
-    tids = {name: i for i, name in enumerate(tracer.resources())}
+    tids = _resource_tids(tracer)
     for iv in tracer.intervals:
         events.append(
             {
@@ -42,11 +81,23 @@ def to_chrome_trace(tracer: Tracer, time_unit_us: float = 1e6) -> dict:
                 "ph": "i",
                 "ts": point.time * time_unit_us,
                 "pid": 0,
-                "tid": tids.get(point.resource, 0),
+                "tid": tids[point.resource],
                 "s": "t",
                 "args": dict(point.info),
             }
         )
+    for track in counters or ():
+        value_key = track.unit or "value"
+        for t, v in track.series:
+            events.append(
+                {
+                    "name": track.name,
+                    "ph": "C",
+                    "ts": t * time_unit_us,
+                    "pid": 0,
+                    "args": {value_key: v},
+                }
+            )
     metadata = [
         {
             "name": "thread_name",
@@ -60,7 +111,22 @@ def to_chrome_trace(tracer: Tracer, time_unit_us: float = 1e6) -> dict:
     return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
 
 
-def write_chrome_trace(tracer: Tracer, path: str) -> None:
+def counter_series(doc: dict, name: str, time_unit_us: float = 1e6) -> list[tuple[float, float]]:
+    """Recover one counter track's ``(time_s, value)`` series from a trace
+    document — the read side of the round trip, used by tests and reports."""
+    out = []
+    for event in doc["traceEvents"]:
+        if event.get("ph") == "C" and event.get("name") == name:
+            value = next(iter(event["args"].values()))
+            out.append((event["ts"] / time_unit_us, value))
+    return out
+
+
+def write_chrome_trace(
+    tracer: Tracer,
+    path: str,
+    counters: Optional[Sequence[CounterTrack]] = None,
+) -> None:
     """Serialise the trace to a JSON file loadable by Perfetto."""
     with open(path, "w") as fh:
-        json.dump(to_chrome_trace(tracer), fh)
+        json.dump(to_chrome_trace(tracer, counters=counters), fh)

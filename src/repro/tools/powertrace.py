@@ -54,6 +54,26 @@ class PowerSampler:
 
     # ----------------------------------------------------------------- views
 
+    def devices(self) -> list[str]:
+        """Device names covered by the samples (empty before the first tick)."""
+        return list(self.samples[0].device_w) if self.samples else []
+
+    def to_records(self) -> list[dict]:
+        """Flatten samples to plain dicts (JSONL friendly)."""
+        return [
+            {"time_s": s.time_s, "total_w": s.total_w, **s.device_w}
+            for s in self.samples
+        ]
+
+    def counter_tracks(self) -> list:
+        """One Perfetto counter track per device (instantaneous watts)."""
+        from repro.tools.chrometrace import CounterTrack
+
+        return [
+            CounterTrack.from_samples(f"power {device}", self.series(device), unit="W")
+            for device in self.devices()
+        ]
+
     def peak_w(self, device: Optional[str] = None) -> float:
         if not self.samples:
             return 0.0

@@ -9,7 +9,11 @@ from repro.linalg import assign_priorities, gemm_graph
 from repro.runtime import RuntimeSystem
 from repro.sim import Simulator, Tracer
 from repro.tools import to_chrome_trace
-from repro.tools.chrometrace import write_chrome_trace
+from repro.tools.chrometrace import (
+    CounterTrack,
+    counter_series,
+    write_chrome_trace,
+)
 
 
 @pytest.fixture
@@ -59,3 +63,41 @@ def test_write_chrome_trace(tmp_path, tracer):
     path = tmp_path / "trace.json"
     write_chrome_trace(tracer, str(path))
     assert json.loads(path.read_text())["displayTimeUnit"] == "ms"
+
+
+def test_point_on_interval_free_resource_gets_own_row():
+    # Regression: a point on a resource with no intervals used to collapse
+    # onto tid 0 (another resource's row) with no thread-name metadata.
+    tr = Tracer()
+    tr.interval("gpu-w0", "task", 0.0, 1.0)
+    tr.point("gpu1", "cap", 0.25, "100W")
+    doc = to_chrome_trace(tr)
+    instant = next(e for e in doc["traceEvents"] if e["ph"] == "i")
+    interval = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+    assert instant["tid"] != interval["tid"]
+    names = {
+        e["tid"]: e["args"]["name"]
+        for e in doc["traceEvents"] if e["ph"] == "M"
+    }
+    assert names[instant["tid"]] == "gpu1"
+    assert names[interval["tid"]] == "gpu-w0"
+
+
+def test_counter_track_round_trip():
+    tr = Tracer()
+    tr.interval("gpu-w0", "task", 0.0, 1.0)
+    series = [(0.0, 55.0), (0.5, 250.0), (1.0, 100.0)]
+    track = CounterTrack.from_samples("power gpu0", series, unit="W")
+    doc = to_chrome_trace(tr, counters=[track])
+    events = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+    assert all(e["args"] == {"W": v} for e, (_, v) in zip(events, series))
+    assert counter_series(doc, "power gpu0") == series
+    assert counter_series(doc, "no such track") == []
+
+
+def test_counter_tracks_survive_serialisation(tmp_path, tracer):
+    track = CounterTrack.from_samples("backlog gpu-w0", [(0.0, 1.5)], unit="s")
+    path = tmp_path / "trace.json"
+    write_chrome_trace(tracer, str(path), counters=[track])
+    doc = json.loads(path.read_text())
+    assert counter_series(doc, "backlog gpu-w0") == [(0.0, 1.5)]

@@ -1,0 +1,74 @@
+"""Tests for the CI perf-regression checker."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_PATH = Path(__file__).resolve().parents[2] / "benchmarks" / "perf"
+
+
+@pytest.fixture(scope="module")
+def mod():
+    spec = importlib.util.spec_from_file_location(
+        "check_regression", _PATH / "check_regression.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+BASELINE = {
+    "runtime_tasks_per_sec": 10000.0,
+    "sim_events_per_sec": 500000.0,
+    "placement_evals_per_task": 4.0,
+}
+
+
+def current(tasks, sim=500000.0, evals=4.0):
+    return {
+        "runtime_tasks_per_sec": tasks,
+        "sim_events_per_sec": sim,
+        "placement_evals_per_task": evals,
+    }
+
+
+def test_within_budget_passes(mod):
+    assert mod.check(current(9700.0), BASELINE) == []
+
+
+def test_regression_beyond_budget_fails(mod):
+    failures = mod.check(current(9000.0), BASELINE)
+    assert failures and "runtime_tasks_per_sec" in failures[0]
+
+
+def test_slow_machine_is_normalised_away(mod):
+    # Half-speed machine: 5100 tasks/s raw would look like a 49% regression,
+    # but scaled by the sim-engine ratio it is within budget.
+    assert mod.check(current(5100.0, sim=250000.0), BASELINE) == []
+    assert mod.check(current(5100.0, sim=250000.0), BASELINE,
+                     normalize=False) != []
+
+
+def test_placement_eval_growth_fails_regardless_of_speed(mod):
+    failures = mod.check(current(10000.0, evals=4.5), BASELINE)
+    assert failures and "placement_evals_per_task" in failures[0]
+
+
+def test_committed_baseline_is_valid(mod):
+    baseline = json.loads((_PATH / "BENCH_baseline.json").read_text())
+    # The baseline must satisfy its own check exactly.
+    assert mod.check(dict(baseline), baseline) == []
+
+
+def test_cli_exit_codes(mod, tmp_path, capsys):
+    cur = tmp_path / "cur.json"
+    cur.write_text(json.dumps(current(9700.0)))
+    base = tmp_path / "base.json"
+    base.write_text(json.dumps(BASELINE))
+    assert mod.main([str(cur), "--baseline", str(base)]) == 0
+    cur.write_text(json.dumps(current(1000.0)))
+    assert mod.main([str(cur), "--baseline", str(base)]) == 1
+    assert mod.main([str(tmp_path / "missing.json")]) == 2
+    capsys.readouterr()

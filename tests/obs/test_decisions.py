@@ -1,0 +1,117 @@
+"""Decision-log tests: replay fidelity against real scheduler runs."""
+
+import pytest
+
+from repro.hardware.catalog import build_platform
+from repro.linalg import assign_priorities, gemm_graph
+from repro.obs.decisions import CandidateClass, DecisionLog, DecisionRecord
+from repro.runtime import RuntimeSystem
+from repro.sim import Simulator
+
+
+def make_record(chosen="w1", costs=((3.0,), (1.0,))):
+    return DecisionRecord(
+        tid=0, label="t", kind="gemm", time=0.0,
+        chosen=chosen, chosen_cost=min(c[0] for c in costs),
+        candidates=tuple(
+            CandidateClass(
+                class_key=f"k{i}", workers=(f"w{i}",), indices=(i,),
+                backlogs=(0.0,), terms=(), costs=c,
+            )
+            for i, c in enumerate(costs)
+        ),
+    )
+
+
+def test_replay_picks_min_cost():
+    rec = make_record()
+    assert rec.replay_choice() == ("w1", 1.0)
+
+
+def test_replay_tie_breaks_on_lower_worker_index():
+    rec = make_record(chosen="w0", costs=((2.0,), (2.0,)))
+    assert rec.replay_choice()[0] == "w0"
+
+
+def test_replay_refolds_when_costs_absent():
+    cand = CandidateClass(
+        class_key="cuda", workers=("a", "b"), indices=(0, 1),
+        backlogs=(1.0, 0.25), terms=(0.5, 0.125),
+    )
+    rec = DecisionRecord(
+        tid=0, label="t", kind="gemm", time=0.0,
+        chosen="b", chosen_cost=0.875, candidates=(cand,),
+    )
+    assert cand.cost_of(1) == 0.875
+    assert rec.replay_choice() == ("b", 0.875)
+    assert cand.estimate_s == 0.5 and cand.transfer_s == 0.125
+
+
+def test_replay_requires_candidates():
+    rec = DecisionRecord(
+        tid=0, label="t", kind="gemm", time=0.0,
+        chosen="w", chosen_cost=0.0, candidates=(),
+    )
+    with pytest.raises(ValueError):
+        rec.replay_choice()
+
+
+def test_backlog_snapshot_unions_candidates():
+    rec = make_record()
+    assert rec.backlog_snapshot() == {"w0": 0.0, "w1": 0.0}
+
+
+def test_jsonl_round_trip(tmp_path):
+    log = DecisionLog()
+    log.append(make_record())
+    path = tmp_path / "decisions.jsonl"
+    log.write_jsonl(str(path))
+    loaded = DecisionLog.read_jsonl(str(path))
+    assert loaded.records == log.records
+    assert loaded.by_worker() == {"w1": 1}
+
+
+def _run_logged(scheduler):
+    sim = Simulator()
+    node = build_platform("24-Intel-2-V100", sim)
+    log = DecisionLog()
+    rt = RuntimeSystem(node, scheduler=scheduler, seed=1, decision_log=log)
+    graph, *_ = gemm_graph(1440 * 4, 1440, "double")
+    assign_priorities(graph)
+    return rt.run(graph), log
+
+
+@pytest.mark.parametrize("scheduler", ["dm", "dmda", "dmdar", "dmdas", "dmdae"])
+def test_log_replays_every_choice(scheduler):
+    """Acceptance: the log reproduces the chosen worker for every task."""
+    result, log = _run_logged(scheduler)
+    assert len(log) == result.n_tasks
+    assert log.verify_replay() == []
+
+
+def test_log_matches_executed_worker_counts():
+    """dm-family queues are per-worker, so placement == execution."""
+    result, log = _run_logged("dmdas")
+    executed = {w: n for w, n in result.worker_tasks.items() if n}
+    assert log.by_worker() == executed
+
+
+def test_brute_force_path_logs_identically(monkeypatch):
+    from repro.runtime.schedulers.dm import DMScheduler
+
+    result_fast, log_fast = _run_logged("dmdas")
+    monkeypatch.setattr(DMScheduler, "brute_force_placement", True)
+    result_slow, log_slow = _run_logged("dmdas")
+    assert result_fast.makespan_s == result_slow.makespan_s
+    assert log_slow.verify_replay() == []
+    assert [r.chosen for r in log_fast] == [r.chosen for r in log_slow]
+
+
+def test_disabled_log_costs_nothing():
+    sim = Simulator()
+    node = build_platform("24-Intel-2-V100", sim)
+    rt = RuntimeSystem(node, scheduler="dmdas", seed=1)
+    assert rt.decision_log is None
+    graph, *_ = gemm_graph(1440 * 3, 1440, "double")
+    assign_priorities(graph)
+    rt.run(graph)  # no log attached; nothing recorded, nothing raised

@@ -1,0 +1,54 @@
+"""Run-manifest round-trip and provenance tests."""
+
+from repro.obs.manifest import MANIFEST_FILENAME, RunManifest, code_version
+
+
+def make_manifest(**overrides):
+    kwargs = dict(
+        platform="24-Intel-2-V100",
+        scheduler="dmdas",
+        config="HL",
+        gpu_caps_w=(250.0, 100.0),
+        op="gemm",
+        n=5760,
+        nb=1440,
+        precision="double",
+        scale="tiny",
+        seed=3,
+    )
+    kwargs.update(overrides)
+    return RunManifest(**kwargs)
+
+
+def test_gpu_states_map_letters_to_devices():
+    m = make_manifest(config="HBL", gpu_caps_w=(250.0, 160.0, 100.0))
+    assert m.gpu_states == {"gpu0": "H", "gpu1": "B", "gpu2": "L"}
+
+
+def test_write_read_round_trip(tmp_path):
+    m = make_manifest(cpu_caps_w={"cpu0": 120.0}, version="abc1234")
+    path = m.write(tmp_path)
+    assert path.name == MANIFEST_FILENAME
+    loaded = RunManifest.read(tmp_path)
+    assert loaded == m
+    assert loaded.gpu_caps_w == (250.0, 100.0)
+
+
+def test_unknown_fields_route_to_extra():
+    doc = make_manifest().to_dict()
+    doc["future_field"] = 42
+    loaded = RunManifest.from_dict(doc)
+    assert loaded.extra["future_field"] == 42
+    assert loaded.platform == "24-Intel-2-V100"
+
+
+def test_defaults_record_environment():
+    m = make_manifest()
+    assert m.schema == 1
+    assert m.python.count(".") >= 1
+    assert m.created_unix > 0
+
+
+def test_code_version_never_empty():
+    v = code_version()
+    assert isinstance(v, str) and v

@@ -1,0 +1,118 @@
+"""Tests for the metrics primitives and registry."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+
+def test_counter_monotonic():
+    c = Counter("c")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_set_add_and_series():
+    g = Gauge("g", track_series=True)
+    g.set(5.0, t=0.0)
+    g.add(-2.0, t=1.0)
+    assert g.value == 3.0
+    assert g.series == [(0.0, 5.0), (1.0, 3.0)]
+
+
+def test_gauge_untracked_keeps_no_series():
+    g = Gauge("g")
+    g.set(1.0, t=0.0)
+    assert g.series == []
+
+
+def test_histogram_buckets_and_stats():
+    h = Histogram("h", buckets=(0.1, 1.0, 10.0))
+    for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+        h.observe(v)
+    assert h.counts == [1, 2, 1, 1]  # last is +Inf overflow
+    assert h.count == 5
+    assert h.sum == pytest.approx(56.05)
+    assert h.mean == pytest.approx(56.05 / 5)
+    assert h.quantile(0.5) == 1.0
+    assert h.quantile(1.0) == float("inf")
+
+
+def test_histogram_needs_buckets():
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=())
+
+
+def test_registry_same_name_same_labels_is_same_metric():
+    reg = MetricsRegistry()
+    a = reg.counter("hits", labels={"dev": "gpu0"})
+    b = reg.counter("hits", labels={"dev": "gpu0"})
+    c = reg.counter("hits", labels={"dev": "gpu1"})
+    assert a is b and a is not c
+    assert len(reg) == 2
+
+
+def test_registry_label_order_does_not_matter():
+    reg = MetricsRegistry()
+    a = reg.counter("x", labels={"a": 1, "b": 2})
+    b = reg.counter("x", labels={"b": 2, "a": 1})
+    assert a is b
+
+
+def test_registry_rejects_type_conflicts():
+    reg = MetricsRegistry()
+    reg.counter("m")
+    with pytest.raises(ValueError):
+        reg.gauge("m")
+
+
+def test_registry_clock_exposed():
+    clock = FakeClock()
+    reg = MetricsRegistry(clock=clock)
+    clock.now = 7.5
+    assert reg.now == 7.5
+    assert MetricsRegistry().now is None
+
+
+def test_prometheus_text_format():
+    reg = MetricsRegistry()
+    reg.counter("repro_tasks_total", "Tasks run.", {"worker": "gpu-w0"}).inc(3)
+    reg.gauge("repro_makespan_seconds", "Makespan.").set(1.25)
+    h = reg.histogram("repro_wait", "Wait.", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    text = reg.to_prometheus()
+    assert "# HELP repro_tasks_total Tasks run." in text
+    assert "# TYPE repro_tasks_total counter" in text
+    assert 'repro_tasks_total{worker="gpu-w0"} 3' in text
+    assert "repro_makespan_seconds 1.25" in text
+    # Histogram buckets are cumulative and end with +Inf == count.
+    assert 'repro_wait_bucket{le="0.1"} 1' in text
+    assert 'repro_wait_bucket{le="1"} 2' in text
+    assert 'repro_wait_bucket{le="+Inf"} 2' in text
+    assert "repro_wait_sum 0.55" in text
+    assert "repro_wait_count 2" in text
+
+
+def test_records_and_jsonl_round_trip(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("c", labels={"k": "v"}).inc(2)
+    g = reg.gauge("g", track_series=True)
+    g.set(1.0, t=0.5)
+    reg.histogram("h", buckets=(1.0,)).observe(0.5)
+    path = tmp_path / "metrics.jsonl"
+    reg.write_jsonl(str(path))
+    recs = [json.loads(line) for line in path.read_text().splitlines()]
+    by_name = {r["metric"]: r for r in recs}
+    assert by_name["c"]["value"] == 2 and by_name["c"]["labels"] == {"k": "v"}
+    assert by_name["g"]["series"] == [[0.5, 1.0]]
+    assert by_name["h"]["counts"] == [1, 0] and by_name["h"]["count"] == 1

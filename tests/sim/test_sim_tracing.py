@@ -79,3 +79,23 @@ def test_points_recorded():
     tr = Tracer()
     tr.point("gpu0", "cap", 3.0, "216W", watts=216.0)
     assert tr.points[0].info["watts"] == 216.0
+
+
+def test_by_resource_index_matches_naive_filter():
+    # by_resource is served from a per-resource index; it must stay
+    # equivalent to scanning the flat interval list.
+    tr = Tracer()
+    for i in range(50):
+        tr.interval(f"w{i % 5}", "task", float(i), float(i) + 0.5)
+    for resource in tr.resources():
+        assert tr.by_resource(resource) == [
+            iv for iv in tr.intervals if iv.resource == resource
+        ]
+
+
+def test_by_resource_returns_copy():
+    tr = Tracer()
+    tr.interval("w0", "task", 0.0, 1.0)
+    tr.by_resource("w0").clear()
+    assert len(tr.by_resource("w0")) == 1
+    assert tr.by_resource("unknown") == []
