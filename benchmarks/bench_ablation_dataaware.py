@@ -5,8 +5,6 @@ needless transfers.  dmda's transfer-penalty term keeps tasks near their
 tiles; the bench reports bytes moved and achieved performance.
 """
 
-from repro.core.capconfig import CapConfig
-from repro.experiments.platforms import cap_states
 from repro.experiments.runner import ExperimentResult
 from repro.hardware.catalog import build_platform
 from repro.linalg import assign_priorities, gemm_graph

@@ -9,7 +9,6 @@ as power drops, which is *not* what the paper measures.
 
 from dataclasses import replace
 
-from repro.core.sweep import best_point
 from repro.experiments.runner import ExperimentResult
 from repro.hardware.catalog import gpu_spec
 from repro.hardware.gpu import GPUDevice

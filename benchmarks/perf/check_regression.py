@@ -31,6 +31,32 @@ from pathlib import Path
 
 DEFAULT_BASELINE = Path(__file__).parent / "BENCH_baseline.json"
 
+REQUIRED_METRICS = (
+    "sim_events_per_sec",
+    "runtime_tasks_per_sec",
+    "placement_evals_per_task",
+)
+
+
+class MalformedInput(ValueError):
+    """Input files unusable for the comparison (exit code 2)."""
+
+
+def validate(doc: dict, source: str) -> None:
+    """Raise :class:`MalformedInput` naming every problem in ``doc``."""
+    problems = [
+        f"missing metric {name!r}" for name in REQUIRED_METRICS
+        if not isinstance(doc.get(name), (int, float))
+    ]
+    ratio_base = doc.get("sim_events_per_sec")
+    if isinstance(ratio_base, (int, float)) and ratio_base <= 0:
+        problems.append(
+            f"sim_events_per_sec is {ratio_base!r}; the machine-speed "
+            "ratio needs a positive event-engine throughput"
+        )
+    if problems:
+        raise MalformedInput(f"{source}: " + "; ".join(problems))
+
 
 def check(
     current: dict,
@@ -38,7 +64,15 @@ def check(
     max_regression_pct: float = 5.0,
     normalize: bool = True,
 ) -> list[str]:
-    """Return a list of failure messages (empty = pass)."""
+    """Return a list of failure messages (empty = pass).
+
+    Raises :class:`MalformedInput` when either document lacks a required
+    metric or its event-engine probe is zero — those are broken inputs,
+    not regressions, and must not surface as ``KeyError``/
+    ``ZeroDivisionError`` tracebacks in CI logs.
+    """
+    validate(current, "current")
+    validate(baseline, "baseline")
     failures: list[str] = []
 
     speed_ratio = 1.0
@@ -86,12 +120,21 @@ def main(argv=None) -> int:
     try:
         current = json.loads(args.current.read_text())
         baseline = json.loads(args.baseline.read_text())
+        if not isinstance(current, dict):
+            raise MalformedInput(f"current: expected a JSON object, got "
+                                 f"{type(current).__name__}")
+        if not isinstance(baseline, dict):
+            raise MalformedInput(f"baseline: expected a JSON object, got "
+                                 f"{type(baseline).__name__}")
         failures = check(
             current, baseline,
             max_regression_pct=args.max_regression_pct,
             normalize=not args.no_normalize,
         )
-    except (OSError, KeyError, ValueError, ZeroDivisionError) as exc:
+    except MalformedInput as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (OSError, ValueError) as exc:
         print(f"error: {exc!r}", file=sys.stderr)
         return 2
     if failures:

@@ -8,6 +8,7 @@ Three families of commands::
     repro tradeoff --platform ... --config HHBB ...   # ad-hoc app run (Sec. V)
     repro trace --config HL --outdir runs/hl          # instrumented run + artefacts
     repro report runs/hl                              # audit a traced run
+    repro chaos --preset kill-throttle                # fault-injected run + audit
 """
 
 from __future__ import annotations
@@ -83,6 +84,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="power sampling period in simulated seconds")
     p.add_argument("--report", action="store_true",
                    help="print the run report after tracing")
+
+    p = sub.add_parser(
+        "chaos",
+        help="run one cap config under a fault plan; report degradation "
+        "vs the fault-free run and audit the recovery",
+    )
+    p.add_argument("--platform", default="24-Intel-2-V100")
+    p.add_argument("--op", choices=["gemm", "potrf"], default="potrf")
+    p.add_argument("--precision", choices=["single", "double"], default="double")
+    p.add_argument("--config", default=None,
+                   help="cap config letters, e.g. HB (default: all-H)")
+    p.add_argument("--scale", choices=SCALES, default="tiny")
+    p.add_argument("--scheduler", default="dmdas")
+    p.add_argument("--seed", type=int, default=0)
+    group = p.add_mutually_exclusive_group()
+    group.add_argument("--plan", default=None, metavar="FILE",
+                       help="JSON fault plan (see docs/resilience.md)")
+    group.add_argument("--preset", default="kill-throttle",
+                       help="named fault plan (repro chaos --preset help)")
+    p.add_argument("--outdir", default=None, metavar="DIR",
+                   help="write chaos.json + faults.jsonl + trace artefacts")
+    p.add_argument("--power-period", type=float, default=0.005, metavar="S")
+    p.add_argument("--report", action="store_true",
+                   help="print the run report after the chaos run")
 
     p = sub.add_parser("report", help="summarize a traced run directory")
     p.add_argument("rundir", help="directory written by `repro trace`")
@@ -184,6 +209,44 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.core.capconfig import CapConfig
+    from repro.experiments.platforms import cap_states, operation_spec
+    from repro.faults.chaos import render_chaos_summary, run_chaos
+    from repro.faults.plan import PRESET_NAMES, FaultPlan, preset_plan
+    from repro.hardware.catalog import PLATFORMS
+
+    if args.plan is None and args.preset == "help":
+        for name in PRESET_NAMES:
+            print(name)
+        return 0
+    if args.plan is not None:
+        plan = FaultPlan.load(args.plan)
+    else:
+        plan = preset_plan(args.preset, seed=args.seed)
+    letters = args.config.upper() if args.config else (
+        "H" * PLATFORMS[args.platform].n_gpus
+    )
+    spec = operation_spec(args.platform, args.op, args.precision, args.scale)
+    states = cap_states(args.platform, args.op, args.precision, args.scale)
+    chaos = run_chaos(
+        args.platform, spec, CapConfig(letters), states, plan,
+        outdir=args.outdir, scheduler=args.scheduler, seed=args.seed,
+        scale=args.scale, power_period_s=args.power_period,
+    )
+    sys.stdout.write(render_chaos_summary(chaos.summary))
+    if chaos.outdir is not None:
+        sys.stdout.write(
+            f"wrote {chaos.outdir}: chaos.json faults.jsonl manifest.json "
+            f"result.json decisions.jsonl events.jsonl trace.json metrics.prom\n"
+        )
+    if args.report and chaos.outdir is not None:
+        from repro.obs.report import render_report
+
+        sys.stdout.write("\n" + render_report(str(chaos.outdir)))
+    return 0 if chaos.passed else 1
+
+
 def _cmd_report(args) -> int:
     from repro.obs.report import render_report
 
@@ -203,6 +266,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_tradeoff(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "report":
         return _cmd_report(args)
     names = sorted(EXPERIMENTS) if args.command == "all" else [args.command]

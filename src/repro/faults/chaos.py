@@ -1,0 +1,303 @@
+"""Chaos runs: one cap configuration executed under a fault plan.
+
+:func:`run_chaos` is the ``repro chaos`` backend.  It runs the operation
+twice with the same ``(platform, config, scheduler, seed)``:
+
+1. **baseline** — fault-free but instrumented exactly like the faulted run
+   (tracer, metrics, decision log, power sampler), so the degradation
+   percentages isolate the faults; its makespan resolves relative fault
+   plans;
+2. **faulted** — the same run with the injector and recovery manager armed.
+
+The faulted run is audited: every task must complete exactly once, the
+decision log must replay cleanly and cover all tasks.  With ``outdir`` set,
+the usual traced-run artefacts are written plus ``faults.jsonl`` (the
+fault/recovery event stream) and ``chaos.json`` (the degradation summary);
+``events.jsonl`` carries the fault events inline, and the tracer's
+``faults`` track puts them on their own Perfetto row.
+
+Both runs are bit-deterministic: re-running with the same ``(seed, plan)``
+reproduces every event byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Optional
+
+from repro.core.capconfig import CapConfig, CapStates
+from repro.core.tradeoff import OperationSpec
+from repro.energy.meters import EnergyMeter
+from repro.faults.injector import FaultInjector
+from repro.faults.nvml_guard import apply_caps_verified
+from repro.faults.plan import FaultPlan
+from repro.faults.recovery import RecoveryManager
+from repro.hardware.catalog import build_platform
+from repro.obs.capture import result_record
+from repro.obs.decisions import DecisionLog
+from repro.obs.exporters import (
+    CHAOS_FILENAME,
+    DECISIONS_FILENAME,
+    EVENTS_FILENAME,
+    FAULTS_FILENAME,
+    METRICS_FILENAME,
+    RESULT_FILENAME,
+    TRACE_FILENAME,
+    write_enriched_chrome_trace,
+    write_events_jsonl,
+)
+from repro.obs.manifest import RunManifest, code_version
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime import RuntimeSystem
+from repro.runtime.engine import RunResult
+from repro.runtime.graph import TaskState
+from repro.sim import Simulator, Tracer
+from repro.tools.powertrace import PowerSampler
+
+
+@dataclass
+class ChaosRun:
+    """Everything produced by one chaos comparison."""
+
+    outdir: Optional[Path]
+    plan: FaultPlan  # resolved (absolute times)
+    baseline: RunResult
+    faulted: RunResult
+    summary: dict
+    registry: MetricsRegistry
+    decisions: DecisionLog
+    tracer: Tracer
+    sampler: PowerSampler
+    injector: FaultInjector
+    recovery: RecoveryManager
+
+    @property
+    def passed(self) -> bool:
+        """Whether the resilience audit held."""
+        audit = self.summary["audit"]
+        return all(bool(v) if isinstance(v, bool) else v == 0
+                   for v in audit.values())
+
+
+def _pct(faulted: float, baseline: float) -> float:
+    return (faulted - baseline) / baseline * 100.0 if baseline > 0 else 0.0
+
+
+def run_chaos(
+    platform: str,
+    spec: OperationSpec,
+    config: CapConfig,
+    states: CapStates,
+    plan: FaultPlan,
+    outdir: Optional[str] = None,
+    scheduler: str = "dmdas",
+    seed: int = 0,
+    cpu_caps: Optional[Mapping[int, float]] = None,
+    scale: str = "custom",
+    power_period_s: float = 0.005,
+    cap_retries: int = 3,
+) -> ChaosRun:
+    """Run ``spec`` under ``config`` with and without ``plan``'s faults."""
+
+    # ------------------------------------------------------------- baseline
+    # Instrumented exactly like the faulted run (tracer, metrics, decision
+    # log, power sampler) so the degradation numbers isolate the *faults*,
+    # not the instrumentation: with an empty plan the two runs are
+    # event-for-event identical and degradation is exactly zero.
+    sim = Simulator()
+    base_tracer = Tracer()
+    node = build_platform(platform, sim, base_tracer)
+    if config.n_gpus != node.n_gpus:
+        raise ValueError(
+            f"config {config.letters} has {config.n_gpus} states for "
+            f"{node.n_gpus} GPUs on {platform}"
+        )
+    node.set_gpu_caps(config.watts(states))
+    if cpu_caps:
+        for pkg, watts in cpu_caps.items():
+            node.cpus[pkg].set_power_limit(watts)
+    runtime = RuntimeSystem(
+        node, scheduler=scheduler, seed=seed, tracer=base_tracer,
+        metrics=MetricsRegistry(clock=sim), decision_log=DecisionLog(),
+    )
+    base_sampler = PowerSampler(node, runtime, period_s=power_period_s)
+    base_sampler.start()
+    meter = EnergyMeter(node)
+    meter.start()
+    baseline = runtime.run(spec.build_graph(), reset_energy=False)
+    base_measure = meter.stop()
+
+    resolved = plan.resolve(baseline.makespan_s) if plan.relative else plan
+
+    # -------------------------------------------------------------- faulted
+    sim = Simulator()
+    tracer = Tracer()
+    node = build_platform(platform, sim, tracer)
+    registry = MetricsRegistry(clock=sim)
+    decisions = DecisionLog()
+    runtime = RuntimeSystem(
+        node, scheduler=scheduler, seed=seed, tracer=tracer,
+        metrics=registry, decision_log=decisions,
+    )
+    injector = FaultInjector(runtime, resolved, metrics=registry)
+    recovery = RecoveryManager(
+        runtime, injector, metrics=registry, decisions=decisions,
+    )
+    injector.arm()
+    cap_reports = apply_caps_verified(
+        node, config.watts(states), retries=cap_retries, strict=False
+    )
+    applied_cpu_caps: dict[str, float] = {}
+    if cpu_caps:
+        for pkg, watts in cpu_caps.items():
+            node.cpus[pkg].set_power_limit(watts)
+            applied_cpu_caps[f"cpu{pkg}"] = watts
+    sampler = PowerSampler(node, runtime, period_s=power_period_s)
+    sampler.blackouts.extend(resolved.dropout_windows())
+    sampler.start()
+    meter = EnergyMeter(node)
+    meter.start()
+    graph = spec.build_graph()
+    faulted = runtime.run(graph, reset_energy=False)
+    fault_measure = meter.stop()
+
+    # ---------------------------------------------------------------- audit
+    executed = sum(faulted.worker_tasks.values())
+    replay_mismatches = len(decisions.verify_replay())
+    # A cap mismatch is expected — not an audit failure — when the plan
+    # deliberately clamps caps; verify-after-set still has to *report* it.
+    clamp_expected = bool(resolved.by_kind("cap-silent-clamp"))
+    audit = {
+        "all_tasks_done": all(t.state is TaskState.DONE for t in graph.tasks),
+        "executed_exactly_once": executed == faulted.n_tasks,
+        "decisions_cover_all_tasks": (
+            len({r.tid for r in decisions}) == faulted.n_tasks
+        ),
+        "decision_replay_mismatches": replay_mismatches,
+        "caps_converged": all(r.verified for r in cap_reports) or clamp_expected,
+    }
+
+    fault_events = injector.events + recovery.events
+    summary = {
+        "platform": platform,
+        "op": spec.op,
+        "n": spec.n,
+        "nb": spec.nb,
+        "precision": spec.precision,
+        "config": config.letters,
+        "scheduler": scheduler,
+        "seed": seed,
+        "plan": {
+            "name": resolved.name,
+            "seed": resolved.seed,
+            "n_faults": len(resolved),
+            "faults": [f.to_record() for f in resolved.faults],
+        },
+        "baseline": {
+            "makespan_s": baseline.makespan_s,
+            "energy_j": base_measure.total_j,
+            "gflops": baseline.gflops,
+        },
+        "faulted": {
+            "makespan_s": faulted.makespan_s,
+            "energy_j": fault_measure.total_j,
+            "gflops": faulted.gflops,
+        },
+        "degradation": {
+            "makespan_pct": _pct(faulted.makespan_s, baseline.makespan_s),
+            "energy_pct": _pct(fault_measure.total_j, base_measure.total_j),
+        },
+        "faults_injected": injector.n_injected,
+        "recovery": recovery.stats(),
+        "cap_reports": [r.to_record() for r in cap_reports],
+        "power_samples_dropped": sampler.n_dropped,
+        "audit": audit,
+    }
+
+    out: Optional[Path] = None
+    if outdir is not None:
+        out = Path(outdir)
+        out.mkdir(parents=True, exist_ok=True)
+        manifest = RunManifest(
+            platform=platform,
+            scheduler=scheduler,
+            config=config.letters,
+            gpu_caps_w=tuple(config.watts(states)),
+            op=spec.op,
+            n=spec.n,
+            nb=spec.nb,
+            precision=spec.precision,
+            scale=scale,
+            seed=seed,
+            cpu_caps_w=applied_cpu_caps,
+            version=code_version(),
+        )
+        manifest.write(out)
+        (out / RESULT_FILENAME).write_text(json.dumps(result_record(
+            faulted,
+            extra={
+                "measured_duration_s": fault_measure.duration_s,
+                "measured_total_j": fault_measure.total_j,
+                "baseline_makespan_s": baseline.makespan_s,
+                "baseline_energy_j": base_measure.total_j,
+            },
+        ), indent=2) + "\n")
+        (out / CHAOS_FILENAME).write_text(json.dumps(summary, indent=2) + "\n")
+        with open(out / FAULTS_FILENAME, "w") as fh:
+            for rec in sorted(fault_events, key=lambda e: e["t"]):
+                fh.write(json.dumps(rec) + "\n")
+        decisions.write_jsonl(str(out / DECISIONS_FILENAME))
+        write_events_jsonl(
+            str(out / EVENTS_FILENAME), tracer, decisions, sampler, fault_events
+        )
+        write_enriched_chrome_trace(
+            str(out / TRACE_FILENAME), tracer, sampler, decisions
+        )
+        (out / METRICS_FILENAME).write_text(registry.to_prometheus())
+
+    return ChaosRun(
+        outdir=out, plan=resolved, baseline=baseline, faulted=faulted,
+        summary=summary, registry=registry, decisions=decisions,
+        tracer=tracer, sampler=sampler, injector=injector, recovery=recovery,
+    )
+
+
+def render_chaos_summary(summary: dict) -> str:
+    """Terminal-friendly rendering of a chaos summary."""
+    lines = [
+        f"chaos: {summary['op']} n={summary['n']} {summary['precision']} "
+        f"on {summary['platform']} [{summary['config']}] "
+        f"({summary['scheduler']}, seed {summary['seed']})",
+        f"plan: {summary['plan']['name'] or 'custom'} "
+        f"({summary['plan']['n_faults']} faults, "
+        f"{summary['faults_injected']} events injected)",
+        f"baseline: {summary['baseline']['makespan_s']:.4f}s, "
+        f"{summary['baseline']['energy_j']:.1f} J",
+        f"faulted:  {summary['faulted']['makespan_s']:.4f}s, "
+        f"{summary['faulted']['energy_j']:.1f} J",
+        f"degradation: makespan {summary['degradation']['makespan_pct']:+.2f} %, "
+        f"energy {summary['degradation']['energy_pct']:+.2f} %",
+    ]
+    rec = summary["recovery"]
+    lines.append(
+        "recovery: "
+        + ", ".join(f"{k}={v}" for k, v in rec.items() if v)
+        if any(rec.values()) else "recovery: (no actions needed)"
+    )
+    for report in summary["cap_reports"]:
+        if report["attempts"] > 1 or not report["verified"]:
+            lines.append(
+                f"cap {report['device']}: requested {report['requested_w']:.0f} W, "
+                f"applied {report['applied_w']:.0f} W "
+                f"({report['attempts']} attempts, "
+                f"{'verified' if report['verified'] else 'MISMATCH'})"
+            )
+    audit = summary["audit"]
+    ok = all(bool(v) if isinstance(v, bool) else v == 0 for v in audit.values())
+    lines.append(
+        "audit: " + ("PASS" if ok else "FAIL")
+        + " (" + ", ".join(f"{k}={v}" for k, v in audit.items()) + ")"
+    )
+    return "\n".join(lines) + "\n"

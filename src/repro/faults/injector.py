@@ -1,0 +1,219 @@
+"""The fault injector: arms a :class:`FaultPlan` against one runtime.
+
+Every fault is delivered through the same surfaces real failures use — the
+GPU device's cap path, its thermal governor, the link reservation queue, the
+worker availability flag — never by patching runtime internals.  All
+injections ride the simulation clock, so a run under a given ``(seed,
+plan)`` is bit-reproducible.
+
+Worker faults (``worker-kill``, ``worker-hang``) need the in-flight task
+registry that :class:`repro.faults.recovery.RecoveryManager` owns, so plans
+containing them require a recovery manager to be bound before :meth:`arm`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Optional
+
+from repro.faults.plan import FaultPlan, FaultPlanError, FaultSpec
+from repro.hardware.gpu import CapSetFailure, GPUDevice
+from repro.runtime.worker import WorkerType
+from repro.sim.engine import EventHandle
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.faults.recovery import RecoveryManager
+    from repro.obs.metrics import MetricsRegistry
+    from repro.runtime.engine import RuntimeSystem
+
+#: Kinds that act on the cap-set path and must be armed before caps are
+#: applied (setup happens at sim time 0, before the event loop runs).
+_CAP_KINDS = ("cap-set-error", "cap-silent-clamp")
+
+
+class FaultInjector:
+    """Schedules a plan's faults onto a runtime's simulation clock."""
+
+    def __init__(
+        self,
+        runtime: "RuntimeSystem",
+        plan: FaultPlan,
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> None:
+        if plan.relative:
+            raise FaultPlanError(
+                "plan uses relative times; resolve(makespan) it first"
+            )
+        self.runtime = runtime
+        self.sim = runtime.sim
+        self.node = runtime.node
+        self.plan = plan
+        self.tracer = runtime.tracer
+        self.metrics = metrics
+        #: Bound by :class:`RecoveryManager`; required for worker faults.
+        self.recovery: Optional["RecoveryManager"] = None
+        #: Chronological fault-event records (merged into ``events.jsonl``).
+        self.events: list[dict] = []
+        self.n_injected = 0
+        self.armed = False
+        self._handles: list[EventHandle] = []
+        self._dead_until: dict[str, float] = {}
+        self._cap_errors: dict[str, int] = {}
+        # gpu name -> [(t0, t1, fraction)] silent-clamp windows.
+        self._clamps: dict[str, list[tuple[float, float, float]]] = {}
+        self._hooked: list[GPUDevice] = []
+
+    # ------------------------------------------------------------- lifecycle
+
+    def arm(self) -> None:
+        """Install cap hooks and schedule every fault.
+
+        Cap-path faults whose time has already passed take effect
+        immediately (caps are applied during setup, before the event loop
+        starts); everything else is scheduled on the simulation clock.
+        """
+        if self.armed:
+            return
+        needs_recovery = [
+            f.kind for f in self.plan.faults if f.kind.startswith("worker-")
+        ]
+        if needs_recovery and self.recovery is None:
+            raise FaultPlanError(
+                f"plan contains {sorted(set(needs_recovery))} but no "
+                "RecoveryManager is bound; worker faults need the in-flight "
+                "task registry to abort and re-submit work"
+            )
+        for spec in self.plan.faults:
+            if spec.kind == "meter-dropout":
+                # Consumed by the power sampler via plan.dropout_windows().
+                continue
+            if spec.kind in _CAP_KINDS and spec.time <= self.sim.now:
+                self._fire(spec)
+            else:
+                self._handles.append(
+                    self.sim.schedule_at(max(self.sim.now, spec.time), self._fire, spec)
+                )
+        self.armed = True
+
+    def disarm(self) -> None:
+        """Cancel pending injections and uninstall cap hooks.
+
+        Called when the run completes so leftover fault events (e.g. a
+        throttle-clear beyond the last task) cannot stretch the simulated
+        makespan.
+        """
+        for handle in self._handles:
+            handle.cancel()
+        self._handles.clear()
+        for gpu in self._hooked:
+            gpu.cap_fault = None
+        self._hooked.clear()
+        self.armed = False
+
+    def is_alive(self, worker_name: str, now: float) -> bool:
+        """Whether a worker has (re)joined the living at time ``now``."""
+        return now >= self._dead_until.get(worker_name, -math.inf)
+
+    # -------------------------------------------------------------- delivery
+
+    def _fire(self, spec: FaultSpec) -> None:
+        kind = spec.kind
+        if kind == "cap-set-error":
+            self._cap_errors[spec.target] = (
+                self._cap_errors.get(spec.target, 0) + int(spec.magnitude)
+            )
+            self._install_cap_hook(self._gpu(spec.target))
+            self._record(kind, spec.target,
+                         f"next {int(spec.magnitude)} cap-sets fail")
+        elif kind == "cap-silent-clamp":
+            t0 = self.sim.now
+            t1 = math.inf if spec.duration == 0 else t0 + spec.duration
+            self._clamps.setdefault(spec.target, []).append((t0, t1, spec.magnitude))
+            self._install_cap_hook(self._gpu(spec.target))
+            self._record(kind, spec.target,
+                         f"caps clamped to {spec.magnitude:.0%} of request")
+        elif kind == "gpu-throttle":
+            gpu = self._gpu(spec.target)
+            limit = max(gpu.spec.cap_min_w, spec.magnitude * gpu.power_limit_w)
+            gpu.set_thermal_limit(limit)
+            self._record(kind, spec.target,
+                         f"{limit:.0f}W for {spec.duration:.4f}s")
+            self._handles.append(
+                self.sim.schedule(spec.duration, self._clear_throttle, gpu)
+            )
+        elif kind == "transfer-stall":
+            gpu = self._gpu(spec.target)
+            link = self.node.links[gpu.index]
+            link.stall_until(self.sim.now + spec.duration, spec.label or "fault")
+            self._record(kind, spec.target, f"link stalled {spec.duration:.4f}s")
+        elif kind == "worker-kill":
+            worker = self._worker(spec.target)
+            until = math.inf if spec.duration == 0 else self.sim.now + spec.duration
+            self._dead_until[worker.name] = until
+            worker.available = False
+            detail = ("permanent" if until == math.inf
+                      else f"revives at t={until:.4f}s")
+            self._record(kind, worker.name, detail)
+            assert self.recovery is not None  # enforced by arm()
+            self.recovery.on_worker_killed(worker)
+        elif kind == "worker-hang":
+            worker = self._worker(spec.target)
+            self._record(kind, worker.name, f"+{spec.duration:.4f}s")
+            assert self.recovery is not None
+            self.recovery.on_worker_hang(worker, spec.duration)
+
+    def _clear_throttle(self, gpu: GPUDevice) -> None:
+        gpu.clear_thermal_limit()
+        self._record("gpu-throttle-clear", gpu.name, "thermal limit lifted")
+
+    def _cap_hook(self, device: GPUDevice, watts: float) -> float:
+        """Installed as ``GPUDevice.cap_fault``; see that attribute's docs."""
+        remaining = self._cap_errors.get(device.name, 0)
+        if remaining > 0:
+            self._cap_errors[device.name] = remaining - 1
+            self._record("cap-set-error", device.name,
+                         f"forced failure ({remaining - 1} left)")
+            raise CapSetFailure(
+                f"{device.name}: injected driver failure applying {watts:.0f} W"
+            )
+        for t0, t1, frac in self._clamps.get(device.name, ()):
+            if t0 <= self.sim.now < t1:
+                clamped = max(device.spec.cap_min_w, watts * frac)
+                if clamped < watts:
+                    self._record("cap-silent-clamp", device.name,
+                                 f"{watts:.0f}W clamped to {clamped:.0f}W")
+                    return clamped
+        return watts
+
+    # -------------------------------------------------------------- plumbing
+
+    def _install_cap_hook(self, gpu: GPUDevice) -> None:
+        if gpu not in self._hooked:
+            gpu.cap_fault = self._cap_hook
+            self._hooked.append(gpu)
+
+    def _gpu(self, target: str) -> GPUDevice:
+        for gpu in self.node.gpus:
+            if gpu.name == target:
+                return gpu
+        raise FaultPlanError(f"no GPU named {target!r} on {self.node.name}")
+
+    def _worker(self, target: str) -> WorkerType:
+        for worker in self.runtime.workers:
+            if worker.name == target:
+                return worker
+        raise FaultPlanError(f"no worker named {target!r}")
+
+    def _record(self, kind: str, target: str, detail: str) -> None:
+        now = self.sim.now
+        self.events.append(
+            {"t": now, "kind": kind, "target": target, "detail": detail}
+        )
+        self.n_injected += 1
+        self.tracer.point("faults", kind, now, f"{target}: {detail}")
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_faults_injected_total",
+                "Fault events delivered by the injector, by kind.",
+                labels={"kind": kind},
+            ).inc()

@@ -1,0 +1,112 @@
+"""Hardened cap application: retry + verify-after-set over the NVML facade.
+
+On real clusters ``nvmlDeviceSetPowerManagementLimit`` occasionally fails
+transiently (driver busy) or is *silently* overridden (another agent, a
+platform limit).  The paper's protocol depends on caps actually holding, so
+the experiment drivers go through these wrappers:
+
+- :func:`set_power_limit_verified` retries transient failures and reads the
+  limit back to confirm the driver applied what was requested;
+- :func:`apply_caps_verified` does that for every GPU of a node and returns
+  one :class:`CapReport` per device, so callers can log or fail loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro import nvml
+from repro.hardware.node import Node
+
+
+class CapVerifyError(RuntimeError):
+    """The driver reports a different limit than was requested."""
+
+    def __init__(self, device: str, requested_mw: int, applied_mw: int) -> None:
+        super().__init__(
+            f"{device}: requested cap {requested_mw / 1000:.0f} W but driver "
+            f"applied {applied_mw / 1000:.0f} W"
+        )
+        self.device = device
+        self.requested_mw = requested_mw
+        self.applied_mw = applied_mw
+
+
+@dataclass(frozen=True)
+class CapReport:
+    """Outcome of one verified cap application."""
+
+    device: str
+    requested_w: float
+    applied_w: float
+    attempts: int
+    verified: bool
+
+    def to_record(self) -> dict:
+        return {
+            "device": self.device,
+            "requested_w": self.requested_w,
+            "applied_w": self.applied_w,
+            "attempts": self.attempts,
+            "verified": self.verified,
+        }
+
+
+def set_power_limit_verified(
+    handle,
+    limit_mw: int,
+    retries: int = 3,
+    strict: bool = True,
+) -> tuple[int, int]:
+    """Set a cap with retry on transient errors, then read it back.
+
+    Returns ``(applied_mw, attempts)``.  Transient driver failures
+    (``NVML_ERROR_UNKNOWN``) are retried up to ``retries`` times; range
+    violations (``NVML_ERROR_INVALID_ARGUMENT``) are never retried.  When the
+    read-back disagrees with the request — a silent clamp — a
+    :class:`CapVerifyError` is raised if ``strict``, otherwise the applied
+    value is returned for the caller to record.
+    """
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            nvml.nvmlDeviceSetPowerManagementLimit(handle, limit_mw)
+            break
+        except nvml.NVMLError as exc:
+            if exc.value != nvml.NVML_ERROR_UNKNOWN or attempts > retries:
+                raise
+    applied = nvml.nvmlDeviceGetPowerManagementLimit(handle)
+    if applied != limit_mw and strict:
+        raise CapVerifyError(nvml.nvmlDeviceGetName(handle), limit_mw, applied)
+    return applied, attempts
+
+
+def apply_caps_verified(
+    node: Node,
+    watts: Sequence[float],
+    retries: int = 3,
+    strict: bool = True,
+) -> list[CapReport]:
+    """Verified per-GPU cap application (the hardened ``set_gpu_caps``)."""
+    if len(watts) != len(node.gpus):
+        raise ValueError(f"expected {len(node.gpus)} caps, got {len(watts)}")
+    nvml.nvmlInit(node)
+    reports = []
+    for index, requested_w in enumerate(watts):
+        handle = nvml.nvmlDeviceGetHandleByIndex(index)
+        limit_mw = int(round(requested_w * 1000))
+        applied_mw, attempts = set_power_limit_verified(
+            handle, limit_mw, retries=retries, strict=strict
+        )
+        reports.append(
+            CapReport(
+                device=f"gpu{index}",
+                requested_w=requested_w,
+                applied_w=applied_mw / 1000.0,
+                attempts=attempts,
+                verified=applied_mw == limit_mw,
+            )
+        )
+    return reports

@@ -9,7 +9,7 @@ is what the simulated NVML total-energy counter reads.
 
 from __future__ import annotations
 
-from typing import Optional, Protocol
+from typing import Callable, Optional, Protocol
 
 from repro.hardware.specs import GPUSpec
 from repro.sim.tracing import Tracer
@@ -23,6 +23,15 @@ class Clock(Protocol):
 
 class PowerLimitError(ValueError):
     """Raised for cap requests outside the device constraints."""
+
+
+class CapSetFailure(PowerLimitError):
+    """Transient driver-level failure applying a power cap.
+
+    Distinct from a range violation: the request was valid but the driver
+    refused it (the NVML facade maps this to ``NVML_ERROR_UNKNOWN``).
+    Raised by fault-injection hooks; retrying may succeed.
+    """
 
 
 class DeviceBusyError(RuntimeError):
@@ -45,6 +54,13 @@ class GPUDevice:
         self._clock = clock
         self._tracer = tracer
         self._power_limit_w = spec.cap_max_w
+        self._thermal_limit_w: Optional[float] = None
+        #: Fault-injection hook for cap requests.  When set, it is called as
+        #: ``hook(device, watts)`` before range validation and may raise
+        #: :class:`CapSetFailure` (driver error) or return altered watts
+        #: (silent clamp).  ``None`` — the default — costs one check on the
+        #: (cold) cap-change path only.
+        self.cap_fault: Optional[Callable[["GPUDevice", float], float]] = None
         self._busy = False
         self._kernel_label = ""
         self._power_w = spec.idle_w
@@ -100,6 +116,8 @@ class GPUDevice:
 
     def set_power_limit(self, watts: float) -> None:
         """Apply a power cap; NVML-style range validation."""
+        if self.cap_fault is not None:
+            watts = self.cap_fault(self, float(watts))
         if not self.spec.cap_min_w <= watts <= self.spec.cap_max_w:
             raise PowerLimitError(
                 f"{self.spec.model}: cap {watts} W outside "
@@ -110,6 +128,53 @@ class GPUDevice:
         self.kernel_time_cache.clear()
         if self._tracer is not None:
             self._tracer.point(self.name, "cap", self._clock.now, f"{watts:.0f}W")
+
+    @property
+    def enforced_limit_w(self) -> float:
+        """The limit the governor actually honours right now.
+
+        NVML keeps reporting the *configured* cap while the device is
+        thermally throttled below it; the boost governor follows the lower
+        of the two.  This is what the operating point is computed from.
+        """
+        if self._thermal_limit_w is None:
+            return self._power_limit_w
+        return min(self._power_limit_w, self._thermal_limit_w)
+
+    def set_thermal_limit(self, watts: float) -> None:
+        """Throttle the device below its configured cap (thermal event).
+
+        Unlike :meth:`set_power_limit` this does not change the reported
+        cap — exactly like real hardware, where a hot GPU silently runs
+        slower than its NVML limit.  Kernel-time and operating-point caches
+        are invalidated, as they are keyed on the enforced limit.
+        """
+        self._thermal_limit_w = max(float(watts), self.spec.cap_min_w)
+        self._op_point_cache.clear()
+        self.kernel_time_cache.clear()
+        if self._tracer is not None:
+            self._tracer.point(
+                self.name, "throttle", self._clock.now,
+                f"{self._thermal_limit_w:.0f}W",
+            )
+
+    def clear_thermal_limit(self) -> None:
+        """Lift a thermal throttle; the configured cap rules again."""
+        if self._thermal_limit_w is None:
+            return
+        self._thermal_limit_w = None
+        self._op_point_cache.clear()
+        self.kernel_time_cache.clear()
+        if self._tracer is not None:
+            self._tracer.point(self.name, "throttle", self._clock.now, "clear")
+
+    @property
+    def throttled(self) -> bool:
+        """True while a thermal limit below the configured cap is active."""
+        return (
+            self._thermal_limit_w is not None
+            and self._thermal_limit_w < self._power_limit_w
+        )
 
     def power_limit_fraction(self) -> float:
         """Current cap as a fraction of TDP."""
@@ -125,7 +190,7 @@ class GPUDevice:
         if point is None:
             self.n_op_cache_misses += 1
             profile = self.spec.power_profiles[precision]
-            f = profile.freq_at_cap(self._power_limit_w, activity)
+            f = profile.freq_at_cap(self.enforced_limit_w, activity)
             point = (f, profile.power(f, activity))
             self._op_point_cache[key] = point
         else:

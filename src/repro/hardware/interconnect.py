@@ -51,6 +51,19 @@ class Link:
         start = self.earliest_start(direction)
         return (start - self._clock.now) + self.spec.transfer_time(nbytes)
 
+    def stall_until(self, time: float, label: str = "") -> None:
+        """Block both directions of the link until an absolute time.
+
+        Models a bus stall (retraining, contention from outside the
+        runtime): transfers already booked keep their slots, new
+        reservations queue behind the stall.  A no-op if the link is
+        already busy past ``time``.
+        """
+        for direction in DIRECTIONS:
+            self._avail_at[direction] = max(self._avail_at[direction], time)
+        if self._tracer is not None:
+            self._tracer.point(self.name, "stall", self._clock.now, label)
+
     def reserve(
         self,
         nbytes: int,

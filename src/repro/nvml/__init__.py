@@ -19,6 +19,7 @@ from repro.nvml.api import (
     NVML_ERROR_INVALID_ARGUMENT,
     NVML_ERROR_NOT_SUPPORTED,
     NVML_ERROR_UNINITIALIZED,
+    NVML_ERROR_UNKNOWN,
     NVMLError,
     nvmlDeviceGetCount,
     nvmlDeviceGetHandleByIndex,
@@ -37,6 +38,7 @@ __all__ = [
     "NVML_ERROR_INVALID_ARGUMENT",
     "NVML_ERROR_NOT_SUPPORTED",
     "NVML_ERROR_UNINITIALIZED",
+    "NVML_ERROR_UNKNOWN",
     "NVMLError",
     "nvmlDeviceGetCount",
     "nvmlDeviceGetHandleByIndex",

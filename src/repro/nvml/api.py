@@ -10,12 +10,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.hardware.gpu import GPUDevice, PowerLimitError
+from repro.hardware.gpu import CapSetFailure, GPUDevice, PowerLimitError
 from repro.hardware.node import Node
 
 NVML_ERROR_UNINITIALIZED = 1
 NVML_ERROR_INVALID_ARGUMENT = 2
 NVML_ERROR_NOT_SUPPORTED = 3
+NVML_ERROR_UNKNOWN = 999
 
 
 class NVMLError(RuntimeError):
@@ -84,6 +85,10 @@ def nvmlDeviceGetPowerManagementLimit(handle: _Handle) -> int:
 def nvmlDeviceSetPowerManagementLimit(handle: _Handle, limit_mw: int) -> None:
     try:
         handle.device.set_power_limit(limit_mw / 1000.0)
+    except CapSetFailure as exc:
+        # Transient driver failure, not a bad request: callers may retry
+        # (see repro.faults.nvml_guard.set_power_limit_verified).
+        raise NVMLError(NVML_ERROR_UNKNOWN, str(exc)) from exc
     except PowerLimitError as exc:
         raise NVMLError(NVML_ERROR_INVALID_ARGUMENT, str(exc)) from exc
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 
@@ -154,9 +154,17 @@ class DecisionLog:
 
     def __init__(self) -> None:
         self.records: list[DecisionRecord] = []
+        #: Free-form timestamped notes interleaved with the decisions —
+        #: fault recovery marks worker exclusions, re-admissions and
+        #: recalibrations here so an audit can explain placement shifts.
+        self.annotations: list[dict] = []
 
     def append(self, record: DecisionRecord) -> None:
         self.records.append(record)
+
+    def annotate(self, time: float, text: str, **data) -> None:
+        """Attach a timestamped note (e.g. a fault-recovery action)."""
+        self.annotations.append({"t": time, "text": text, **data})
 
     def __len__(self) -> int:
         return len(self.records)
@@ -181,6 +189,8 @@ class DecisionLog:
         with open(path, "w") as fh:
             for rec in self.records:
                 fh.write(json.dumps(rec.to_record()) + "\n")
+            for ann in self.annotations:
+                fh.write(json.dumps({"type": "annotation", **ann}) + "\n")
 
     @classmethod
     def read_jsonl(cls, path: str) -> "DecisionLog":
@@ -188,8 +198,15 @@ class DecisionLog:
         with open(path) as fh:
             for line in fh:
                 line = line.strip()
-                if line:
-                    log.append(DecisionRecord.from_record(json.loads(line)))
+                if not line:
+                    continue
+                rec = json.loads(line)
+                if rec.get("type") == "annotation":
+                    log.annotations.append(
+                        {k: v for k, v in rec.items() if k != "type"}
+                    )
+                else:
+                    log.append(DecisionRecord.from_record(rec))
         return log
 
     @classmethod

@@ -29,18 +29,24 @@ TRACE_FILENAME = "trace.json"
 DECISIONS_FILENAME = "decisions.jsonl"
 METRICS_FILENAME = "metrics.prom"
 RESULT_FILENAME = "result.json"
+FAULTS_FILENAME = "faults.jsonl"
+CHAOS_FILENAME = "chaos.json"
 
 
 def iter_events(
     tracer: Optional[Tracer] = None,
     decisions: Optional[DecisionLog] = None,
     sampler=None,
+    faults=None,
 ) -> list[dict]:
     """Merge telemetry sources into one time-sorted list of event dicts.
 
     Every event carries ``t`` (simulated seconds) and ``type`` (``interval``,
-    ``point``, ``decision`` or ``power``); ``sampler`` is anything with a
-    ``samples`` list of :class:`~repro.tools.powertrace.PowerSample`.
+    ``point``, ``decision``, ``power`` or ``fault``); ``sampler`` is anything
+    with a ``samples`` list of
+    :class:`~repro.tools.powertrace.PowerSample`, ``faults`` an iterable of
+    fault/recovery record dicts each carrying a ``t`` key (see
+    :mod:`repro.faults`).
     """
     events: list[dict] = []
     if tracer is not None:
@@ -63,6 +69,10 @@ def iter_events(
                 "t": sample.time_s, "type": "power",
                 "total_w": sample.total_w, **sample.device_w,
             })
+    if faults is not None:
+        for rec in faults:
+            events.append({"t": rec["t"], "type": "fault",
+                           **{k: v for k, v in rec.items() if k != "t"}})
     events.sort(key=lambda e: e["t"])
     return events
 
@@ -72,9 +82,10 @@ def write_events_jsonl(
     tracer: Optional[Tracer] = None,
     decisions: Optional[DecisionLog] = None,
     sampler=None,
+    faults=None,
 ) -> int:
     """Write the merged event stream; returns the number of events."""
-    events = iter_events(tracer, decisions, sampler)
+    events = iter_events(tracer, decisions, sampler, faults)
     with open(path, "w") as fh:
         for event in events:
             fh.write(json.dumps(event) + "\n")

@@ -12,7 +12,10 @@ prints the audit views the paper's claims hinge on:
 - **idle-gap detector** — per-worker scheduling holes larger than a
   threshold, the first thing to look at when a config underperforms;
 - **decision-log audit** — replays every logged placement argmin and counts
-  disagreements (zero means the log fully explains the schedule).
+  disagreements (zero means the log fully explains the schedule);
+- **fault section** — for chaos run directories (``repro chaos --outdir``),
+  injected-fault and recovery-action counts, degradation vs the fault-free
+  baseline, the resilience audit verdict and the recovery annotations.
 """
 
 from __future__ import annotations
@@ -25,8 +28,10 @@ from typing import Optional
 from repro.core.reporting import format_table
 from repro.obs.decisions import DecisionLog
 from repro.obs.exporters import (
+    CHAOS_FILENAME,
     DECISIONS_FILENAME,
     EVENTS_FILENAME,
+    FAULTS_FILENAME,
     RESULT_FILENAME,
     read_events_jsonl,
 )
@@ -52,6 +57,8 @@ class RunReport:
     result: dict
     decisions: Optional[DecisionLog] = None
     events: list[dict] = field(default_factory=list)
+    faults: list[dict] = field(default_factory=list)
+    chaos: Optional[dict] = None
 
     # ------------------------------------------------------------- loading
 
@@ -66,7 +73,13 @@ class RunReport:
         events: list[dict] = []
         if (path / EVENTS_FILENAME).exists():
             events = read_events_jsonl(str(path / EVENTS_FILENAME))
-        return cls(path, manifest, result, decisions, events)
+        faults: list[dict] = []
+        if (path / FAULTS_FILENAME).exists():
+            faults = read_events_jsonl(str(path / FAULTS_FILENAME))
+        chaos = None
+        if (path / CHAOS_FILENAME).exists():
+            chaos = json.loads((path / CHAOS_FILENAME).read_text())
+        return cls(path, manifest, result, decisions, events, faults, chaos)
 
     # ------------------------------------------------------------ analysis
 
@@ -185,14 +198,37 @@ class RunReport:
         mean_classes = sum(
             len(r.candidates) for r in self.decisions
         ) / len(self.decisions)
+        # Distinct tids, not record count: a task aborted by fault recovery
+        # is decided again on resubmission, so retries add records without
+        # adding coverage.
         return {
             "n_decisions": len(self.decisions),
             "n_mismatches": len(mismatches),
             "mismatched_labels": [r.label for r in mismatches[:10]],
             "mean_candidate_classes": mean_classes,
-            "covers_all_tasks": len(self.decisions) == self.result["n_tasks"],
+            "covers_all_tasks": (
+                len({r.tid for r in self.decisions}) == self.result["n_tasks"]
+            ),
             "by_worker": self.decisions.by_worker(),
         }
+
+    def fault_summary(self) -> dict:
+        """Injected-fault and recovery-action counts from ``faults.jsonl``."""
+        # Lazy import: repro.faults pulls in the runtime; the report must
+        # stay loadable for fault-free run directories regardless.
+        from repro.faults.plan import FAULT_KINDS
+
+        injected: dict[str, int] = {}
+        actions: dict[str, int] = {}
+        for rec in self.faults:
+            kind = rec.get("kind", "?")
+            bucket = (
+                injected
+                if kind in FAULT_KINDS or kind.endswith("-clear")
+                else actions
+            )
+            bucket[kind] = bucket.get(kind, 0) + 1
+        return {"injected": injected, "actions": actions}
 
     # ----------------------------------------------------------- rendering
 
@@ -261,6 +297,37 @@ class RunReport:
                 f"{audit['mean_candidate_classes']:.1f} candidate classes/decision, "
                 f"covers all tasks: {audit['covers_all_tasks']}\n"
             )
+        if self.faults or self.chaos is not None:
+            parts.append(self._render_faults())
+        return "".join(parts)
+
+    def _render_faults(self) -> str:
+        """The ``[faults]`` section for chaos run directories."""
+        parts: list[str] = []
+        summary = self.fault_summary()
+        injected = ", ".join(
+            f"{kind} x{n}" for kind, n in sorted(summary["injected"].items())
+        ) or "none"
+        actions = ", ".join(
+            f"{kind} x{n}" for kind, n in sorted(summary["actions"].items())
+        ) or "none"
+        parts.append(f"[faults] injected: {injected}\n")
+        parts.append(f"[faults] recovery: {actions}\n")
+        if self.chaos is not None:
+            deg = self.chaos["degradation"]
+            parts.append(
+                f"[faults] degradation vs fault-free baseline: "
+                f"makespan {deg['makespan_pct']:+.2f} %, "
+                f"energy {deg['energy_pct']:+.2f} %\n"
+            )
+            ok = all(
+                bool(v) if isinstance(v, bool) else v == 0
+                for v in self.chaos["audit"].values()
+            )
+            parts.append(f"[faults] resilience audit: {'PASS' if ok else 'FAIL'}\n")
+        if self.decisions is not None:
+            for ann in self.decisions.annotations:
+                parts.append(f"  {ann['t']:.4f}s  {ann['text']}\n")
         return "".join(parts)
 
 

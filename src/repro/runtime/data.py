@@ -357,6 +357,23 @@ class DataManager:
                 self.managers[target].unpin(handle)
             handle.check_invariants()
 
+    def abandon(
+        self,
+        handles: Iterable[tuple[DataHandle, AccessMode]],
+        target: int,
+    ) -> None:
+        """Unpin staged data *without* applying write effects.
+
+        Fault-recovery counterpart of :meth:`release`: the task was aborted
+        mid-staging or mid-execution, so its writes never happened and the
+        coherence state must stay as acquire left it.
+        """
+        if target == MEM_HOST:
+            return
+        mgr = self.managers[target]
+        for handle, _mode in handles:
+            mgr.unpin(handle)
+
     def flush_to_host(self, handles: Iterable[DataHandle]) -> None:
         """Write all dirty replicas back to the host (end-of-operation)."""
         for handle in handles:

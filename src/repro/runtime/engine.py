@@ -124,8 +124,12 @@ class RuntimeSystem:
         # Observability (off by default: both None keeps hot paths clean).
         self.metrics = metrics
         self.decision_log = decision_log
+        # Fault recovery (off by default: None keeps hot paths clean; a
+        # RecoveryManager binds itself here — see repro.faults.recovery).
+        self.faults = None
         self._ready_at: dict[int, float] = {}
         self._scheduler = None
+        self._graph: Optional[TaskGraph] = None
         self._remaining = 0
 
     # ------------------------------------------------------------ calibration
@@ -190,6 +194,9 @@ class RuntimeSystem:
             self._scheduler.decision_log = self.decision_log
         self._exec_rng = self.rng.stream("exec")
         self._update_models = update_models
+        self._graph = graph
+        if self.faults is not None:
+            self.faults.on_run_start(self._scheduler, graph)
         self._remaining = len(graph.tasks)
         for w in self.workers:
             w.busy = False
@@ -235,12 +242,79 @@ class RuntimeSystem:
         if self.metrics is not None:
             self._flush_metrics(result)
         self._scheduler = None
+        self._graph = None
         return result
 
     @property
     def pending_tasks(self) -> int:
         """Tasks of the in-progress run not yet completed (0 when idle)."""
         return self._remaining
+
+    # -------------------------------------------------------- fault recovery
+
+    def abort_task(self, task: Task, worker: WorkerType, running: bool) -> None:
+        """Undo the device and data state of an in-flight task.
+
+        Called by the recovery layer after it cancelled the task's pending
+        engine events.  ``running`` distinguishes a task whose kernel had
+        begun (:meth:`_start_exec` fired) from one still staging data.  The
+        task's writes never happened, so staged data is abandoned without
+        coherence effects; the worker is freed but *not* redispatched.
+        """
+        if isinstance(worker, GPUWorker):
+            if running:
+                worker.gpu.end_kernel()
+            worker.driver_package.end_core()
+        elif running:
+            worker.package.end_core()
+        self.data.abandon(task.accesses, worker.mem_node)
+        task.state = TaskState.READY
+        task.worker_name = None
+        task.start_time = None
+        worker.busy = False
+
+    def resubmit(self, task: Task) -> None:
+        """Push an aborted (or drained) task back to the scheduler."""
+        task.state = TaskState.READY
+        if self.metrics is not None:
+            self._ready_at[task.tid] = self.sim.now
+        self._scheduler.push_ready(task, self.sim.now)
+        self._dispatch_all()
+
+    def wake(self) -> None:
+        """Re-examine idle workers (after a fault-recovery readmission)."""
+        self._dispatch_all()
+
+    def recalibrate_arch(self, arch: str) -> int:
+        """Re-seed one architecture's performance models *under the current
+        device state* (cap, thermal throttle).
+
+        The in-run analogue of StarPU's recalibration after a power-cap
+        change: the recovery layer calls this when observed durations drift
+        far from the model, so dm-family schedulers re-plan around the
+        degraded (or recovered) device.  Returns the number of distinct
+        kernels re-seeded.
+        """
+        if self._graph is None:
+            return 0
+        sample = next((w for w in self.workers if w.arch == arch), None)
+        if sample is None:
+            return 0
+        self.perf.invalidate_arch(arch)
+        rng = self.rng.stream("calibration")
+        distinct = {model_key(t.op): t.op for t in self._graph.tasks}
+        reseeded = 0
+        for op in distinct.values():
+            if not sample.can_run(op):
+                continue
+            truth = ground_truth_duration(sample, op)
+            for _ in range(self.calibration_samples):
+                noisy = truth * float(rng.lognormal(0.0, self.calib_noise))
+                self.perf.record(op, arch, noisy)
+            reseeded += 1
+        if reseeded:
+            self.perf.enable_regression()
+        return reseeded
 
     # -------------------------------------------------------------- internals
 
@@ -262,7 +336,7 @@ class RuntimeSystem:
     def _dispatch_all(self) -> None:
         scheduler = self._scheduler
         for w in self.workers:
-            if not w.busy and scheduler.has_work_for(w):
+            if not w.busy and w.available and scheduler.has_work_for(w):
                 self._try_start(w)
 
     def _flush_metrics(self, result: RunResult) -> None:
@@ -365,7 +439,11 @@ class RuntimeSystem:
         if isinstance(worker, GPUWorker):
             # The driver core busy-waits through staging and execution.
             worker.driver_package.begin_core()
-        self.sim.schedule_at(max(self.sim.now, ready), self._start_exec, task, worker)
+        handle = self.sim.schedule_at(
+            max(self.sim.now, ready), self._start_exec, task, worker
+        )
+        if self.faults is not None:
+            self.faults.on_task_staging(task, worker, handle)
 
     def _start_exec(self, task: Task, worker: WorkerType) -> None:
         now = self.sim.now
@@ -381,7 +459,9 @@ class RuntimeSystem:
         self.tracer.interval(
             worker.name, "task", now, now + duration, task.label, task_kind=op.kind
         )
-        self.sim.schedule(duration, self._finish, task, worker, duration)
+        handle = self.sim.schedule(duration, self._finish, task, worker, duration)
+        if self.faults is not None:
+            self.faults.on_task_running(task, worker, handle, duration)
         # Overlap upcoming queued tasks' transfers with this execution.
         for nxt in self._scheduler.peek_many(worker, self.prefetch_depth):
             self.data.prefetch(nxt.accesses, worker.mem_node, nxt.label)
@@ -402,6 +482,8 @@ class RuntimeSystem:
         worker.flops_done += task.op.flops
         if self._update_models:
             self.perf.record(task.op, worker.arch, duration)
+        if self.faults is not None:
+            self.faults.on_task_finished(task, worker, duration)
         metrics = self.metrics
         if metrics is not None:
             metrics.histogram(

@@ -96,6 +96,13 @@ class HistoryModel:
         self._stats.clear()
         self._ewma.clear()
 
+    def drop_arch(self, arch: str) -> None:
+        """Forget every sample recorded for one architecture."""
+        stale = [k for k in self._stats if k[1] == arch]
+        for k in stale:
+            del self._stats[k]
+            self._ewma.pop(k, None)
+
 
 class RegressionModel:
     """``t = a * nb**b`` least-squares fit per (kind, precision, arch)."""
@@ -180,3 +187,17 @@ class PerfModelSet:
         self.history.clear()
         self._regression = None
         self._cache.clear()
+
+    def invalidate_arch(self, arch: str) -> None:
+        """Drop one architecture's history and estimates.
+
+        Used by fault recovery when a device's observed speed diverges from
+        the model (thermal throttle): stale samples would keep misleading the
+        scheduler, so they are discarded before recalibration.
+        """
+        self.history.drop_arch(arch)
+        if self._regression is not None:
+            self._regression.refit()
+        stale = [k for k in self._cache if k[1] == arch]
+        for k in stale:
+            del self._cache[k]

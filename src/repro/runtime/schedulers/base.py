@@ -46,6 +46,10 @@ class Scheduler(ABC):
         self.rng = rng
         self.n_pushed = 0
         self.n_popped = 0
+        #: Workers removed from placement (dead/quarantined).  Kept as a
+        #: set of names; the placement classes are rebuilt on each change,
+        #: so the per-push hot path never consults it.
+        self._excluded: set[str] = set()
         self._placement_classes = self._build_placement_classes()
 
     def placement_class_key(self, worker: WorkerType):
@@ -61,13 +65,38 @@ class Scheduler(ABC):
     def _build_placement_classes(self) -> list[list[tuple[int, WorkerType]]]:
         """Group workers by :meth:`placement_class_key`, preserving worker
         order both across and within classes.  Each entry keeps the worker's
-        index in ``self.workers`` so tie-breaks match a brute-force scan."""
+        index in ``self.workers`` so tie-breaks match a brute-force scan.
+        Excluded (quarantined) workers are left out entirely."""
         classes: dict = {}
         for index, worker in enumerate(self.workers):
+            if worker.name in self._excluded:
+                continue
             classes.setdefault(self.placement_class_key(worker), []).append(
                 (index, worker)
             )
         return list(classes.values())
+
+    # -------------------------------------------------------- fault recovery
+
+    def exclude_worker(self, worker: WorkerType) -> list[Task]:
+        """Remove a worker from placement (death/quarantine).
+
+        Returns the tasks that were queued on it, in the order the policy
+        would have served them, so the caller can re-submit them to the
+        surviving workers.  Policies with shared queues return ``[]``.
+        """
+        self._excluded.add(worker.name)
+        self._placement_classes = self._build_placement_classes()
+        return self._drain_queue(worker)
+
+    def readmit_worker(self, worker: WorkerType) -> None:
+        """Put a previously excluded worker back into placement."""
+        self._excluded.discard(worker.name)
+        self._placement_classes = self._build_placement_classes()
+
+    def _drain_queue(self, worker: WorkerType) -> list[Task]:
+        """Empty the worker's private queue; default for shared queues."""
+        return []
 
     @abstractmethod
     def push_ready(self, task: Task, now: float) -> None:
@@ -112,8 +141,23 @@ class Scheduler(ABC):
         return self.perf.estimate(task.op, worker.arch)
 
     def eligible(self, task: Task) -> list[WorkerType]:
-        """Workers holding an implementation of the task's kernel."""
-        out = [w for w in self.workers if w.can_run(task.op)]
+        """Non-excluded workers holding an implementation of the kernel."""
+        out = [
+            w for w in self.workers
+            if w.can_run(task.op) and w.name not in self._excluded
+        ]
         if not out:
             raise RuntimeError(f"no worker can run {task.op.kind!r}")
         return out
+
+    def has_eligible(self, task: Task) -> bool:
+        """Whether any non-excluded worker could run the task right now.
+
+        Unlike :meth:`eligible` this never raises; fault recovery uses it to
+        decide between re-submission and parking the task until a worker is
+        re-admitted.
+        """
+        return any(
+            w.can_run(task.op) and w.name not in self._excluded
+            for w in self.workers
+        )

@@ -202,5 +202,16 @@ class DMScheduler(Scheduler):
         est = self._task_est.pop(task.tid, 0.0)
         self._backlog[worker.name] = max(0.0, self._backlog[worker.name] - est)
 
+    def _drain_queue(self, worker: WorkerType) -> list[Task]:
+        queue = self._queues[worker.name]
+        drained = list(queue)
+        queue.clear()
+        # The worker is gone: nothing queued (or running) counts against it
+        # any more.  Re-pushed tasks are re-estimated on their new worker.
+        self._backlog[worker.name] = 0.0
+        for task in drained:
+            self._task_est.pop(task.tid, None)
+        return drained
+
     def has_pending(self) -> bool:
         return any(self._queues.values())

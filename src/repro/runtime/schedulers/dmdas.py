@@ -52,5 +52,14 @@ class DMDASScheduler(DMDAScheduler):
             return []
         return [t for _, _, t in heapq.nsmallest(depth, heap)]
 
+    def _drain_queue(self, worker: WorkerType) -> list[Task]:
+        heap = self._heaps[worker.name]
+        drained = [task for _, _, task in sorted(heap)]
+        heap.clear()
+        self._backlog[worker.name] = 0.0
+        for task in drained:
+            self._task_est.pop(task.tid, None)
+        return drained
+
     def has_pending(self) -> bool:
         return any(self._heaps.values())

@@ -33,5 +33,11 @@ class RandomScheduler(Scheduler):
         self.n_popped += 1
         return queue.popleft()
 
+    def _drain_queue(self, worker: WorkerType) -> list[Task]:
+        queue = self._queues[worker.name]
+        drained = list(queue)
+        queue.clear()
+        return drained
+
     def has_pending(self) -> bool:
         return any(self._queues.values())

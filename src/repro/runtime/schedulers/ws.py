@@ -23,12 +23,20 @@ class WorkStealingScheduler(Scheduler):
     def push_ready(self, task: Task, now: float) -> None:
         # No submitting-worker context in this engine: distribute round-robin
         # over workers that can actually run the kernel.
-        while True:
+        for _ in range(len(self.workers)):
             name = next(self._rr)
-            if self._can[name](task.op):
+            if name not in self._excluded and self._can[name](task.op):
                 break
+        else:
+            raise RuntimeError(f"no worker can run {task.op.kind!r}")
         self._queues[name].append(task)
         self.n_pushed += 1
+
+    def _drain_queue(self, worker: WorkerType) -> list[Task]:
+        queue = self._queues[worker.name]
+        drained = list(queue)
+        queue.clear()
+        return drained
 
     def _scan(self, queue: deque, worker: WorkerType, from_right: bool) -> Optional[Task]:
         indices = range(len(queue) - 1, -1, -1) if from_right else range(len(queue))

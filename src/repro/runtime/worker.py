@@ -24,6 +24,9 @@ class Worker:
         self.name = name
         self.arch = arch
         self.busy = False
+        #: Cleared while the worker is dead/quarantined (fault recovery);
+        #: the engine never dispatches to an unavailable worker.
+        self.available = True
         self.n_tasks = 0
         self.busy_time = 0.0
         self.flops_done = 0.0

@@ -14,7 +14,7 @@ intervals (power dips become visible exactly where a cap state engages).
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.sim.tracing import Tracer

@@ -34,21 +34,34 @@ class PowerSampler:
     runtime: RuntimeSystem
     period_s: float = 0.05
     samples: list[PowerSample] = field(default_factory=list)
+    #: ``(start, end)`` windows during which the meter records nothing
+    #: (fault injection: a crashed monitoring daemon, an NVML hiccup).
+    #: The tick keeps re-arming through a blackout so sampling resumes on
+    #: schedule afterwards; dropped ticks are counted in ``n_dropped``.
+    blackouts: list[tuple[float, float]] = field(default_factory=list)
+    n_dropped: int = 0
 
     def start(self) -> None:
         nvml.nvmlInit(self.node)
         self.runtime.sim.schedule(0.0, self._tick)
 
+    def _in_blackout(self, now: float) -> bool:
+        return any(t0 <= now < t1 for t0, t1 in self.blackouts)
+
     def _tick(self) -> None:
-        reading: dict[str, float] = {}
-        for i, cpu in enumerate(self.node.cpus):
-            # RAPL exposes energy, not power; a daemon differentiates.  The
-            # model's instantaneous value is equivalent and cheaper here.
-            reading[cpu.name] = cpu.power_w
-        for i in range(len(self.node.gpus)):
-            handle = nvml.nvmlDeviceGetHandleByIndex(i)
-            reading[f"gpu{i}"] = nvml.nvmlDeviceGetPowerUsage(handle) / 1000.0
-        self.samples.append(PowerSample(self.runtime.sim.now, reading))
+        now = self.runtime.sim.now
+        if self._in_blackout(now):
+            self.n_dropped += 1
+        else:
+            reading: dict[str, float] = {}
+            for cpu in self.node.cpus:
+                # RAPL exposes energy, not power; a daemon differentiates.
+                # The model's instantaneous value is equivalent and cheaper.
+                reading[cpu.name] = cpu.power_w
+            for i in range(len(self.node.gpus)):
+                handle = nvml.nvmlDeviceGetHandleByIndex(i)
+                reading[f"gpu{i}"] = nvml.nvmlDeviceGetPowerUsage(handle) / 1000.0
+            self.samples.append(PowerSample(now, reading))
         if self.runtime.pending_tasks > 0:
             self.runtime.sim.schedule(self.period_s, self._tick)
 

@@ -72,3 +72,42 @@ def test_cli_exit_codes(mod, tmp_path, capsys):
     assert mod.main([str(cur), "--baseline", str(base)]) == 1
     assert mod.main([str(tmp_path / "missing.json")]) == 2
     capsys.readouterr()
+
+
+def test_missing_metric_names_the_metric(mod):
+    broken = current(9700.0)
+    del broken["runtime_tasks_per_sec"]
+    with pytest.raises(mod.MalformedInput, match="runtime_tasks_per_sec"):
+        mod.check(broken, BASELINE)
+
+
+def test_missing_metric_in_baseline_names_the_file(mod):
+    broken = dict(BASELINE)
+    del broken["placement_evals_per_task"]
+    with pytest.raises(mod.MalformedInput, match="baseline.*placement_evals"):
+        mod.check(current(9700.0), broken)
+
+
+def test_zero_sim_engine_ratio_is_malformed_not_zerodivision(mod):
+    with pytest.raises(mod.MalformedInput, match="sim_events_per_sec"):
+        mod.check(current(9700.0), dict(BASELINE, sim_events_per_sec=0.0))
+    with pytest.raises(mod.MalformedInput, match="sim_events_per_sec"):
+        mod.check(current(9700.0, sim=0.0), BASELINE)
+
+
+def test_non_numeric_metric_is_malformed(mod):
+    with pytest.raises(mod.MalformedInput, match="sim_events_per_sec"):
+        mod.check(current(9700.0, sim="fast"), BASELINE)
+
+
+def test_cli_reports_malformed_input_clearly(mod, tmp_path, capsys):
+    cur = tmp_path / "cur.json"
+    cur.write_text(json.dumps({"runtime_tasks_per_sec": 9700.0}))
+    base = tmp_path / "base.json"
+    base.write_text(json.dumps(BASELINE))
+    assert mod.main([str(cur), "--baseline", str(base)]) == 2
+    err = capsys.readouterr().err
+    assert "sim_events_per_sec" in err and "Traceback" not in err
+    cur.write_text(json.dumps([1, 2, 3]))
+    assert mod.main([str(cur), "--baseline", str(base)]) == 2
+    assert "JSON object" in capsys.readouterr().err

@@ -11,7 +11,7 @@ def test_format_table_alignment():
     assert "-+-" in lines[1]
     assert len(lines) == 4
     # All rows same width
-    assert len({len(l) for l in (lines[0], lines[2], lines[3])}) == 1
+    assert len({len(ln) for ln in (lines[0], lines[2], lines[3])}) == 1
 
 
 def test_format_table_title():

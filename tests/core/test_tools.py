@@ -29,7 +29,7 @@ def test_gantt_renders_rows_for_busy_workers(traced_run):
     text = render_gantt(tracer, width=60)
     assert "gpu-w0" in text and "#" in text
     assert "idle" in text  # legend
-    lines = [l for l in text.splitlines() if "|" in l]
+    lines = [ln for ln in text.splitlines() if "|" in ln]
     assert len(lines) >= 2
 
 

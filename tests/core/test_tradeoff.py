@@ -61,10 +61,10 @@ def test_llll_is_slow_and_wasteful():
         "32-AMD-4-A100", GEMM_SMALL,
         [CapConfig("HHHH"), CapConfig("LLLL")], STATES_4, seed=1,
     )
-    h, l = out["HHHH"], out["LLLL"]
-    assert l.perf_delta_pct(h) < -60
-    assert l.energy_saving_pct(h) < 0  # consumes MORE energy
-    assert l.efficiency < h.efficiency
+    high, low = out["HHHH"], out["LLLL"]
+    assert low.perf_delta_pct(high) < -60
+    assert low.energy_saving_pct(high) < 0  # consumes MORE energy
+    assert low.efficiency < high.efficiency
 
 
 def test_cpu_caps_applied():

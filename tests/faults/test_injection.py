@@ -1,0 +1,162 @@
+"""Unit tests for the fault injector and the verified NVML cap path."""
+
+import pytest
+
+from repro import nvml
+from repro.faults.injector import FaultInjector
+from repro.faults.nvml_guard import (
+    CapVerifyError,
+    apply_caps_verified,
+    set_power_limit_verified,
+)
+from repro.faults.plan import FaultPlan, FaultPlanError, FaultSpec
+from repro.faults.recovery import RecoveryManager
+from repro.hardware.catalog import build_platform
+from repro.runtime import RuntimeSystem
+from repro.sim import Simulator
+
+PLATFORM = "24-Intel-2-V100"
+
+
+def make_runtime():
+    sim = Simulator()
+    node = build_platform(PLATFORM, sim, None)
+    return RuntimeSystem(node, scheduler="dmdas", seed=0)
+
+
+def plan_of(*faults):
+    return FaultPlan(faults=tuple(faults))
+
+
+def test_relative_plan_rejected():
+    runtime = make_runtime()
+    plan = FaultPlan(
+        faults=(FaultSpec(kind="meter-dropout", time=0.5, duration=0.1),),
+        relative=True,
+    )
+    with pytest.raises(FaultPlanError, match="relative"):
+        FaultInjector(runtime, plan)
+
+
+def test_worker_fault_requires_recovery_manager():
+    runtime = make_runtime()
+    injector = FaultInjector(runtime, plan_of(
+        FaultSpec(kind="worker-kill", time=0.1, target="gpu-w0"),
+    ))
+    with pytest.raises(FaultPlanError, match="RecoveryManager"):
+        injector.arm()
+
+
+def test_unknown_gpu_target_raises():
+    runtime = make_runtime()
+    injector = FaultInjector(runtime, plan_of(
+        FaultSpec(kind="gpu-throttle", time=0.0, target="gpu9",
+                  duration=0.1, magnitude=0.5),
+    ))
+    injector.arm()
+    with pytest.raises(FaultPlanError, match="gpu9"):
+        runtime.sim.run()  # delivery resolves the target
+
+
+def test_cap_set_error_fails_then_recovers():
+    """The injected driver error hits plain NVML sets; the verified path
+    retries through it."""
+    runtime = make_runtime()
+    injector = FaultInjector(runtime, plan_of(
+        FaultSpec(kind="cap-set-error", time=0.0, target="gpu0", magnitude=2),
+    ))
+    injector.arm()
+    nvml.nvmlInit(runtime.node)
+    handle = nvml.nvmlDeviceGetHandleByIndex(0)
+    with pytest.raises(nvml.NVMLError):
+        nvml.nvmlDeviceSetPowerManagementLimit(handle, 200_000)
+    # Two injected failures, then the verified path succeeds on its retry.
+    applied, attempts = set_power_limit_verified(handle, 200_000, retries=3)
+    assert applied == 200_000
+    assert attempts == 2  # one failure was consumed by the plain set above
+
+
+def test_verified_set_gives_up_after_retries():
+    runtime = make_runtime()
+    injector = FaultInjector(runtime, plan_of(
+        FaultSpec(kind="cap-set-error", time=0.0, target="gpu0", magnitude=5),
+    ))
+    injector.arm()
+    nvml.nvmlInit(runtime.node)
+    handle = nvml.nvmlDeviceGetHandleByIndex(0)
+    with pytest.raises(nvml.NVMLError):
+        set_power_limit_verified(handle, 200_000, retries=3)
+
+
+def test_silent_clamp_detected_by_verify(tmp_path):
+    runtime = make_runtime()
+    injector = FaultInjector(runtime, plan_of(
+        FaultSpec(kind="cap-silent-clamp", time=0.0, target="gpu0",
+                  duration=0.0, magnitude=0.8),
+    ))
+    injector.arm()
+    nvml.nvmlInit(runtime.node)
+    handle = nvml.nvmlDeviceGetHandleByIndex(0)
+    with pytest.raises(CapVerifyError):
+        set_power_limit_verified(handle, 200_000, strict=True)
+    applied, _ = set_power_limit_verified(handle, 200_000, strict=False)
+    assert applied == pytest.approx(160_000)
+
+
+def test_apply_caps_verified_reports_per_gpu():
+    runtime = make_runtime()
+    reports = apply_caps_verified(runtime.node, [250.0, 200.0])
+    assert [r.device for r in reports] == ["gpu0", "gpu1"]
+    assert all(r.verified and r.attempts == 1 for r in reports)
+    assert [r.applied_w for r in reports] == [250.0, 200.0]
+
+
+def test_disarm_uninstalls_cap_hooks_and_cancels():
+    runtime = make_runtime()
+    injector = FaultInjector(runtime, plan_of(
+        FaultSpec(kind="cap-set-error", time=0.0, target="gpu0", magnitude=1),
+        FaultSpec(kind="gpu-throttle", time=5.0, target="gpu1",
+                  duration=0.1, magnitude=0.5),
+    ))
+    injector.arm()
+    gpu0 = runtime.node.gpus[0]
+    assert gpu0.cap_fault is not None
+    injector.disarm()
+    assert gpu0.cap_fault is None
+    assert not injector.armed
+    # The pending throttle was cancelled: the sim drains with no effect.
+    runtime.sim.run()
+    gpu1 = runtime.node.gpus[1]
+    assert gpu1.enforced_limit_w == gpu1.power_limit_w
+
+
+def test_throttle_keeps_nvml_reporting_configured_cap():
+    """NVML keeps reporting the configured cap while the device is
+    thermally limited below it — the paper's silent-throttle scenario."""
+    runtime = make_runtime()
+    recovery = RecoveryManager(runtime)  # noqa: F841  (binds runtime.faults)
+    injector = FaultInjector(runtime, plan_of(
+        FaultSpec(kind="gpu-throttle", time=0.0, target="gpu0",
+                  duration=1.0, magnitude=0.6),
+    ))
+    # Deliver the throttle directly (running the sim would also run the
+    # scheduled clear, lifting the limit again before we can observe it).
+    injector._fire(injector.plan.faults[0])
+    gpu = runtime.node.gpus[0]
+    nvml.nvmlInit(runtime.node)
+    handle = nvml.nvmlDeviceGetHandleByIndex(0)
+    reported_mw = nvml.nvmlDeviceGetPowerManagementLimit(handle)
+    assert reported_mw == pytest.approx(gpu.power_limit_w * 1000.0)
+    assert gpu.enforced_limit_w < gpu.power_limit_w
+    assert gpu.enforced_limit_w == pytest.approx(0.6 * gpu.power_limit_w)
+
+
+def test_is_alive_tracks_kill_windows():
+    runtime = make_runtime()
+    injector = FaultInjector(runtime, plan_of(
+        FaultSpec(kind="worker-kill", time=0.0, target="gpu-w0", duration=2.0),
+    ))
+    injector._dead_until["gpu-w0"] = 2.0
+    assert not injector.is_alive("gpu-w0", 1.0)
+    assert injector.is_alive("gpu-w0", 2.0)
+    assert injector.is_alive("gpu-w1", 0.0)  # never killed

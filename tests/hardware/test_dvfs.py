@@ -6,7 +6,6 @@ import pytest
 
 from repro.hardware.dvfs import (
     CalibrationError,
-    PowerProfile,
     calibrate_profile,
     cpu_freq_at_cap,
     efficiency_optimum,

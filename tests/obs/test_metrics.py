@@ -52,6 +52,39 @@ def test_histogram_needs_buckets():
         Histogram("h", buckets=())
 
 
+def test_histogram_boundary_observation_is_le_inclusive():
+    """Prometheus semantics: an observation exactly on a bucket bound
+    belongs to that bound's bucket (``le`` means <=, not <)."""
+    h = Histogram("h", buckets=(0.1, 1.0, 10.0))
+    for bound in (0.1, 1.0, 10.0):
+        h.observe(bound)
+    assert h.counts == [1, 1, 1, 0]  # nothing spilled into +Inf
+    # Just above a bound goes to the next bucket; just below stays put.
+    h.observe(0.1 + 1e-12)
+    h.observe(1.0 - 1e-12)
+    assert h.counts == [1, 3, 1, 0]
+
+
+def test_histogram_boundary_cumulative_prometheus_counts():
+    reg = MetricsRegistry()
+    h = reg.histogram("repro_edge", "Boundary.", buckets=(0.1, 1.0))
+    h.observe(0.1)
+    h.observe(1.0)
+    text = reg.to_prometheus()
+    assert 'repro_edge_bucket{le="0.1"} 1' in text
+    assert 'repro_edge_bucket{le="1"} 2' in text
+    assert 'repro_edge_bucket{le="+Inf"} 2' in text
+
+
+def test_histogram_quantile_at_boundary_returns_that_bound():
+    h = Histogram("h", buckets=(0.1, 1.0, 10.0))
+    for bound in (0.1, 0.1, 1.0, 10.0):
+        h.observe(bound)
+    assert h.quantile(0.5) == 0.1
+    assert h.quantile(0.75) == 1.0
+    assert h.quantile(1.0) == 10.0
+
+
 def test_registry_same_name_same_labels_is_same_metric():
     reg = MetricsRegistry()
     a = reg.counter("hits", labels={"dev": "gpu0"})

@@ -10,7 +10,6 @@ invariants checked are the correctness contract of the whole runtime:
 - POTRF closed-form task counts hold for all tile counts.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.hardware.catalog import build_platform

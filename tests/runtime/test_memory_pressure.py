@@ -8,7 +8,6 @@ memory instead of growing the matrix.
 
 from dataclasses import replace
 
-import pytest
 
 from repro.hardware.catalog import PCIE4_X16, XEON_GOLD_6126, gpu_spec
 from repro.hardware.node import Node

@@ -1,6 +1,5 @@
 """Unit tests for implicit dependency inference and graph analysis."""
 
-import pytest
 
 from repro.kernels.tile_kernels import TileOp
 from repro.runtime.data import AccessMode, DataHandle

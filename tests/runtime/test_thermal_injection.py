@@ -1,6 +1,5 @@
 """Failure injection: thermal throttling during task-based runs."""
 
-import pytest
 
 from repro.hardware.catalog import build_platform
 from repro.hardware.thermal import ThermalThrottler

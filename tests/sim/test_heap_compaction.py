@@ -26,7 +26,7 @@ def test_compaction_triggers_and_preserves_order():
 
 def test_cancel_is_idempotent_for_the_counter():
     sim = Simulator()
-    keep = sim.schedule(2.0, lambda: None)
+    _keep = sim.schedule(2.0, lambda: None)  # holds a live event in the heap
     h = sim.schedule(1.0, lambda: None)
     for _ in range(5):
         h.cancel()
