@@ -7,8 +7,13 @@ Three headline numbers, chosen to cover the three optimised layers:
   (POTRF double, small scale, ``HH`` on 24-Intel-2-V100, dmdas);
 - ``sim_events_per_sec`` — the raw discrete-event engine: events
   processed per wall second on a pure event-chain microbenchmark;
-- ``fig3_small_wall_s`` — an end-to-end experiment driver
-  (``fig3`` at small scale, optionally with ``--jobs``).
+- ``fig3_small_wall_s`` — an end-to-end experiment driver (``fig3`` at
+  small scale, optionally with ``--jobs``), run *cold* against a fresh
+  experiment cache (all misses, so the wall time includes cache writes);
+- ``fig3_small_warm_wall_s`` — the same driver re-run against the
+  now-populated cache: every run resolves from disk, and the ratio to the
+  cold wall is the incremental-sweep speedup ``check_regression.py``
+  enforces.
 
 Run from the repo root::
 
@@ -16,8 +21,11 @@ Run from the repo root::
 
 The JSON also records supporting evidence: the per-task placement-eval
 count (the equivalence-class optimisation keeps it at the number of
-worker classes, not the number of workers) and the best-of-N wall time
-of the reference run.
+worker classes, not the number of workers), the best-of-N wall time of
+the reference run, the warm run's hit rate and row equality, and the
+simulator-engine event counts for the cold and warm fig3 phases — the
+engine work the cache actually saved (truthful for ``--jobs 1``: pool
+workers accumulate engine totals in their own processes).
 """
 
 from __future__ import annotations
@@ -90,14 +98,36 @@ def bench_sim(n_events: int) -> dict:
 
 
 def bench_fig3(jobs: int) -> dict:
-    """End-to-end experiment driver at small scale."""
-    from repro.experiments import fig3_double
+    """End-to-end experiment driver at small scale, cold then warm."""
+    import tempfile
 
-    t0 = time.perf_counter()
-    result = fig3_double.run(scale="small", jobs=jobs)
-    wall = time.perf_counter() - t0
+    from repro.cache import ExperimentCache
+    from repro.experiments import fig3_double
+    from repro.sim import ENGINE_TOTALS
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cold_cache = ExperimentCache(tmp)
+        ev0 = ENGINE_TOTALS.snapshot()
+        t0 = time.perf_counter()
+        result = fig3_double.run(scale="small", jobs=jobs, cache=cold_cache)
+        cold_wall = time.perf_counter() - t0
+        ev1 = ENGINE_TOTALS.snapshot()
+
+        # Fresh cache object, same store: counters isolate the warm run.
+        warm_cache = ExperimentCache(tmp, fingerprint=cold_cache.fingerprint)
+        t0 = time.perf_counter()
+        warm = fig3_double.run(scale="small", jobs=jobs, cache=warm_cache)
+        warm_wall = time.perf_counter() - t0
+        ev2 = ENGINE_TOTALS.snapshot()
+
+    lookups = warm_cache.hits + warm_cache.misses
     return {
-        "fig3_small_wall_s": round(wall, 2),
+        "fig3_small_wall_s": round(cold_wall, 2),
+        "fig3_small_warm_wall_s": round(warm_wall, 4),
+        "fig3_warm_hit_rate": round(warm_cache.hits / lookups, 4) if lookups else 0.0,
+        "fig3_warm_rows_identical": warm.rows == result.rows,
+        "fig3_engine_events_cold": ev1[0] - ev0[0],
+        "fig3_engine_events_warm": ev2[0] - ev1[0],
         "fig3_jobs": jobs,
         "fig3_n_rows": len(result.rows),
     }

@@ -35,7 +35,14 @@ REQUIRED_METRICS = (
     "sim_events_per_sec",
     "runtime_tasks_per_sec",
     "placement_evals_per_task",
+    "fig3_small_wall_s",
+    "fig3_small_warm_wall_s",
+    "fig3_warm_hit_rate",
 )
+
+#: Minimum cold/warm wall ratio for the cached fig3 re-run.  The ratio is a
+#: same-machine comparison, so no machine-speed normalisation applies.
+MIN_WARM_SPEEDUP = 5.0
 
 
 class MalformedInput(ValueError):
@@ -53,6 +60,12 @@ def validate(doc: dict, source: str) -> None:
         problems.append(
             f"sim_events_per_sec is {ratio_base!r}; the machine-speed "
             "ratio needs a positive event-engine throughput"
+        )
+    warm = doc.get("fig3_small_warm_wall_s")
+    if isinstance(warm, (int, float)) and warm <= 0:
+        problems.append(
+            f"fig3_small_warm_wall_s is {warm!r}; the warm-speedup "
+            "ratio needs a positive warm wall time"
         )
     if problems:
         raise MalformedInput(f"{source}: " + "; ".join(problems))
@@ -103,6 +116,29 @@ def check(
             f"placement_evals_per_task grew: {evals:.3f} > {bound:.3f} "
             "(the equivalence-class bound is machine-independent)"
         )
+
+    speedup = current["fig3_small_wall_s"] / current["fig3_small_warm_wall_s"]
+    print(
+        f"fig3 warm speedup: {speedup:.1f}x "
+        f"(cold {current['fig3_small_wall_s']:.2f}s / "
+        f"warm {current['fig3_small_warm_wall_s']:.4f}s, "
+        f"floor {MIN_WARM_SPEEDUP:.0f}x)"
+    )
+    if speedup < MIN_WARM_SPEEDUP:
+        failures.append(
+            f"cached fig3 re-run only {speedup:.1f}x faster than cold "
+            f"(floor {MIN_WARM_SPEEDUP:.0f}x; same-machine ratio)"
+        )
+
+    hit_rate = current["fig3_warm_hit_rate"]
+    print(f"fig3 warm hit rate: {hit_rate:.4f}")
+    if hit_rate < 1.0:
+        failures.append(
+            f"warm fig3 hit rate {hit_rate:.4f} < 1.0: some runs were "
+            "recomputed on a fully populated cache"
+        )
+    if current.get("fig3_warm_rows_identical") is False:
+        failures.append("warm fig3 rows differ from the cold run")
     return failures
 
 

@@ -1,0 +1,40 @@
+"""Content-addressed experiment cache.
+
+Every experiment run in this repo is a *pure function* of its arguments:
+``run_operation`` builds its own :class:`~repro.sim.Simulator`, platform and
+seeded RNG pool, and two calls with equal arguments produce bit-identical
+:class:`~repro.core.efficiency.ConfigMetrics`.  That makes whole-run
+memoization safe — and, given how much the paper's sweeps overlap (the same
+(platform, operation, config, seed) points recur across Figs. 3/4/7 and the
+tables), it is the single largest wall-clock win left after the hot-path
+optimisations of ``docs/performance.md``.
+
+Three layers:
+
+- :mod:`repro.cache.keys` — canonical run identity: a stable JSON encoding
+  of the full argument set plus a fingerprint of the installed ``repro``
+  source tree, hashed to one hex digest.  Any source edit under
+  ``src/repro/`` flips the fingerprint and forces misses.
+- :mod:`repro.cache.store` — the on-disk store: sharded JSON entries with
+  atomic writes (temp file + ``os.replace``), payload checksums, a
+  versioned schema, ``stats``/``verify``/``gc``/``clear`` maintenance.
+- :mod:`repro.cache.experiment` — :class:`ExperimentCache`, the object the
+  experiment layers accept as ``cache=``: it knows which calls are
+  cacheable, serialises their results, and counts hits/misses.
+
+See ``docs/performance.md`` ("The experiment cache") for key anatomy, the
+gc policy and when *not* to trust a warm cache.
+"""
+
+from repro.cache.experiment import ExperimentCache
+from repro.cache.keys import canonical_json, code_fingerprint, digest
+from repro.cache.store import CacheStore, CorruptEntry
+
+__all__ = [
+    "CacheStore",
+    "CorruptEntry",
+    "ExperimentCache",
+    "canonical_json",
+    "code_fingerprint",
+    "digest",
+]

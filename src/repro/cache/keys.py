@@ -1,0 +1,74 @@
+"""Canonical cache keys and the source-tree fingerprint.
+
+A cache key must be a deterministic function of the *run identity* and
+nothing else: equal arguments must produce equal keys in any process, under
+any dict ordering, on any platform.  Keys are therefore built from plain
+JSON documents serialised with sorted keys and hashed with SHA-256 —
+``PYTHONHASHSEED`` and insertion order cannot leak in.
+
+The key document always embeds a **code fingerprint**: a digest of every
+``*.py`` file under the installed ``repro`` package (relative path and
+content).  Editing any source file changes the fingerprint, which changes
+every key, which forces recomputation — a stale cache can never serve
+results produced by different code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Optional
+
+#: Bump when the key document layout changes (old entries become unreachable,
+#: not wrong — unreachable keys are simply never looked up again).
+KEY_SCHEMA = 1
+
+_DEFAULT_FINGERPRINT: Optional[str] = None
+
+
+def canonical_json(doc: object) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, no NaN."""
+    return json.dumps(
+        doc, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def digest(doc: object) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of ``doc``."""
+    return hashlib.sha256(canonical_json(doc).encode("utf-8")).hexdigest()
+
+
+def code_fingerprint(root: Optional[str] = None) -> str:
+    """Digest of the Python source tree rooted at ``root``.
+
+    ``root=None`` fingerprints the installed ``repro`` package (memoised
+    per process — the tree cannot change under a running interpreter).
+    Every ``*.py`` file contributes its package-relative POSIX path and its
+    bytes, in sorted path order, so renames, moves, additions and deletions
+    all flip the digest, not just content edits.
+    """
+    global _DEFAULT_FINGERPRINT
+    if root is None:
+        if _DEFAULT_FINGERPRINT is None:
+            import repro
+
+            base = Path(repro.__file__).resolve().parent
+            _DEFAULT_FINGERPRINT = _fingerprint_tree(base)
+        return _DEFAULT_FINGERPRINT
+    return _fingerprint_tree(Path(root).resolve())
+
+
+def _fingerprint_tree(base: Path) -> str:
+    h = hashlib.sha256()
+    for path in sorted(base.rglob("*.py")):
+        h.update(path.relative_to(base).as_posix().encode("utf-8"))
+        h.update(b"\x00")
+        h.update(path.read_bytes())
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def run_key(fingerprint: str, call: dict) -> str:
+    """The cache key for one call document under one code fingerprint."""
+    return digest({"schema": KEY_SCHEMA, "fingerprint": fingerprint, "call": call})

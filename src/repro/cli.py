@@ -15,12 +15,68 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import os
 import sys
 import time
 from typing import Optional, Sequence
 
 from repro.experiments import EXPERIMENTS
 from repro.experiments.runner import SCALES
+
+#: Environment fallback for --cache-dir (and the `repro cache` default).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def _parse_size(text: str) -> int:
+    """``500M`` / ``2G`` / ``1048576`` -> bytes (for ``cache gc --max-size``)."""
+    units = {"K": 1024, "M": 1024**2, "G": 1024**3}
+    t = text.strip().upper().removesuffix("B")
+    mult = units.get(t[-1:] or "", 1)
+    num = t[:-1] if mult != 1 else t
+    try:
+        return int(float(num) * mult)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid size {text!r} (use e.g. 500M, 2G, 1048576)"
+        ) from None
+
+
+def _parse_age(text: str) -> float:
+    """``90s`` / ``30m`` / ``12h`` / ``7d`` -> seconds (for ``--max-age``)."""
+    units = {"S": 1.0, "M": 60.0, "H": 3600.0, "D": 86400.0}
+    t = text.strip().upper()
+    mult = units.get(t[-1:] or "", 1.0)
+    num = t[:-1] if t[-1:] in units else t
+    try:
+        return float(num) * mult
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid age {text!r} (use e.g. 90s, 30m, 12h, 7d)"
+        ) from None
+
+
+def _add_cache_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result cache; repeated runs with unchanged "
+        f"code become disk reads (default: ${CACHE_DIR_ENV} if set)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help=f"run uncached even when ${CACHE_DIR_ENV} is set",
+    )
+
+
+def _open_cache(args):
+    """The ExperimentCache the flags ask for, or ``None`` for uncached."""
+    if getattr(args, "no_cache", False):
+        return None
+    cache_dir = getattr(args, "cache_dir", None) or os.environ.get(CACHE_DIR_ENV)
+    if not cache_dir:
+        return None
+    from repro.cache import ExperimentCache
+
+    return ExperimentCache(cache_dir)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -45,6 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
             "--outdir", default=None, metavar="DIR",
             help="also write result.txt/result.csv/manifest.json under DIR/<name>",
         )
+        _add_cache_args(p)
 
     sub.add_parser("list", help="list available experiments")
 
@@ -54,6 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--precision", choices=["single", "double"], default="double")
     p.add_argument("--step-pct", type=float, default=2.0)
     p.add_argument("--csv", action="store_true")
+    _add_cache_args(p)
 
     p = sub.add_parser("tradeoff", help="run one operation under a cap config")
     p.add_argument("--platform", default="32-AMD-4-A100")
@@ -66,6 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="worker processes for the config ladder (0 = one per core)")
     p.add_argument("--csv", action="store_true")
+    _add_cache_args(p)
 
     p = sub.add_parser(
         "trace",
@@ -84,6 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="power sampling period in simulated seconds")
     p.add_argument("--report", action="store_true",
                    help="print the run report after tracing")
+    _add_cache_args(p)  # the traced run is uncacheable; this caches P_best
 
     p = sub.add_parser(
         "chaos",
@@ -108,11 +168,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--power-period", type=float, default=0.005, metavar="S")
     p.add_argument("--report", action="store_true",
                    help="print the run report after the chaos run")
+    _add_cache_args(p)
 
     p = sub.add_parser("report", help="summarize a traced run directory")
     p.add_argument("rundir", help="directory written by `repro trace`")
     p.add_argument("--max-gaps", type=int, default=8,
                    help="idle gaps to list (longest first)")
+
+    p = sub.add_parser("cache", help="inspect and maintain the experiment cache")
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help=f"cache root (default: ${CACHE_DIR_ENV} or .repro-cache)",
+    )
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser("stats", help="entry counts, bytes, kinds")
+    cache_sub.add_parser(
+        "verify", help="check every entry's checksum; exit 1 if any is corrupt"
+    )
+    g = cache_sub.add_parser("gc", help="evict entries by age and/or total size")
+    g.add_argument("--max-size", type=_parse_size, default=None, metavar="SIZE",
+                   help="evict oldest entries until the store fits (e.g. 500M)")
+    g.add_argument("--max-age", type=_parse_age, default=None, metavar="AGE",
+                   help="drop entries older than this (e.g. 7d, 12h)")
+    cache_sub.add_parser("clear", help="remove every entry")
     return parser
 
 
@@ -120,11 +198,24 @@ def _emit(result, as_csv: bool) -> None:
     sys.stdout.write(result.csv() if as_csv else result.table())
 
 
+def _emit_cache_line(cache) -> None:
+    """One provenance line after a cached command (separate from the table,
+    so warm and cold tables stay byte-identical)."""
+    if cache is not None:
+        sys.stdout.write(
+            f"  (cache: {cache.hits} hits, {cache.misses} misses, "
+            f"dir {cache.store.root})\n"
+        )
+
+
 def _cmd_sweep(args) -> int:
     from repro.core.sweep import best_point, sweep_gemm
     from repro.experiments.runner import ExperimentResult
 
-    points = sweep_gemm(args.model, args.n, args.precision, step_pct=args.step_pct)
+    cache = _open_cache(args)
+    points = sweep_gemm(
+        args.model, args.n, args.precision, step_pct=args.step_pct, cache=cache
+    )
     result = ExperimentResult(
         name="sweep",
         title=f"GEMM N={args.n} {args.precision} cap sweep on {args.model}",
@@ -141,6 +232,7 @@ def _cmd_sweep(args) -> int:
         f"{best.efficiency:.2f} Gflop/s/W"
     ]
     _emit(result, args.csv)
+    _emit_cache_line(cache)
     return 0
 
 
@@ -150,8 +242,9 @@ def _cmd_tradeoff(args) -> int:
     from repro.experiments.platforms import cap_states, config_list, operation_spec
     from repro.experiments.runner import ExperimentResult
 
+    cache = _open_cache(args)
     spec = operation_spec(args.platform, args.op, args.precision, args.scale)
-    states = cap_states(args.platform, args.op, args.precision, args.scale)
+    states = cap_states(args.platform, args.op, args.precision, args.scale, cache=cache)
     configs = config_list(args.platform)
     if args.config is not None:
         wanted = CapConfig(args.config.upper())
@@ -161,6 +254,7 @@ def _cmd_tradeoff(args) -> int:
         args.platform, spec, configs, states,
         scheduler=args.scheduler, seed=args.seed,
         jobs=(None if args.jobs == 0 else args.jobs),
+        cache=cache,
     )
     base = metrics["H" * configs[0].n_gpus]
     result = ExperimentResult(
@@ -181,6 +275,7 @@ def _cmd_tradeoff(args) -> int:
         ],
     )
     _emit(result, args.csv)
+    _emit_cache_line(cache)
     return 0
 
 
@@ -191,7 +286,9 @@ def _cmd_trace(args) -> int:
     from repro.obs.report import render_report
 
     spec = operation_spec(args.platform, args.op, args.precision, args.scale)
-    states = cap_states(args.platform, args.op, args.precision, args.scale)
+    states = cap_states(
+        args.platform, args.op, args.precision, args.scale, cache=_open_cache(args)
+    )
     traced = run_traced(
         args.platform, spec, CapConfig(args.config.upper()), states,
         outdir=args.outdir, scheduler=args.scheduler, seed=args.seed,
@@ -227,14 +324,16 @@ def _cmd_chaos(args) -> int:
     letters = args.config.upper() if args.config else (
         "H" * PLATFORMS[args.platform].n_gpus
     )
+    cache = _open_cache(args)
     spec = operation_spec(args.platform, args.op, args.precision, args.scale)
-    states = cap_states(args.platform, args.op, args.precision, args.scale)
+    states = cap_states(args.platform, args.op, args.precision, args.scale, cache=cache)
     chaos = run_chaos(
         args.platform, spec, CapConfig(letters), states, plan,
         outdir=args.outdir, scheduler=args.scheduler, seed=args.seed,
-        scale=args.scale, power_period_s=args.power_period,
+        scale=args.scale, power_period_s=args.power_period, cache=cache,
     )
     sys.stdout.write(render_chaos_summary(chaos.summary))
+    _emit_cache_line(cache)
     if chaos.outdir is not None:
         sys.stdout.write(
             f"wrote {chaos.outdir}: chaos.json faults.jsonl manifest.json "
@@ -254,6 +353,32 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    from repro.cache import CacheStore
+
+    root = args.cache_dir or os.environ.get(CACHE_DIR_ENV) or ".repro-cache"
+    store = CacheStore(root)
+    if args.cache_command == "stats":
+        stats = store.stats()
+        for key in ("root", "schema", "entries", "bytes", "corrupt"):
+            print(f"{key}: {stats[key]}")
+        for kind, n in stats["by_kind"].items():
+            print(f"kind {kind}: {n}")
+        return 0
+    if args.cache_command == "verify":
+        ok, problems = store.verify()
+        print(f"{ok} valid, {len(problems)} corrupt")
+        for msg in problems:
+            print(f"  {msg}")
+        return 1 if problems else 0
+    if args.cache_command == "gc":
+        out = store.gc(max_size_bytes=args.max_size, max_age_s=args.max_age)
+        print(f"removed {out['removed']} entries, freed {out['freed_bytes']} bytes")
+        return 0
+    print(f"removed {store.clear()} entries")  # clear
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -270,23 +395,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_chaos(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
+    cache = _open_cache(args)
     names = sorted(EXPERIMENTS) if args.command == "all" else [args.command]
     for name in names:
         t0 = time.time()
         fn = EXPERIMENTS[name]
         kwargs = {"scale": args.scale, "seed": args.seed}
-        # Experiments gain --jobs support individually; pass it through only
-        # where the driver accepts it so the rest keep working untouched.
-        if "jobs" in inspect.signature(fn).parameters:
+        # Experiments gain --jobs/--cache support individually; pass them
+        # through only where the driver accepts them so the rest keep
+        # working untouched.
+        params = inspect.signature(fn).parameters
+        if "jobs" in params:
             kwargs["jobs"] = None if args.jobs == 0 else args.jobs
+        if cache is not None and "cache" in params:
+            kwargs["cache"] = cache
+        hits0, misses0 = (cache.hits, cache.misses) if cache is not None else (0, 0)
         result = fn(**kwargs)
+        cache_note = ""
+        delta: Optional[dict] = None
+        if cache is not None and "cache" in params:
+            delta = {"hits": cache.hits - hits0, "misses": cache.misses - misses0}
+            cache_note = f", cache {delta['hits']} hits / {delta['misses']} misses"
         _emit(result, args.csv)
-        sys.stdout.write(f"  ({time.time() - t0:.1f}s wall)\n\n")
+        sys.stdout.write(f"  ({time.time() - t0:.1f}s wall{cache_note})\n\n")
         if args.outdir:
-            outpath = result.write_outputs(
-                args.outdir,
-                provenance={"scale": args.scale, "seed": args.seed},
-            )
+            provenance = {"scale": args.scale, "seed": args.seed}
+            if delta is not None:
+                provenance["cache"] = {**cache.counts(), **delta}
+            outpath = result.write_outputs(args.outdir, provenance=provenance)
             sys.stdout.write(f"  (saved to {outpath})\n")
     return 0
 

@@ -9,7 +9,7 @@ task-based operation, since GEMM tiles dominate both operations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.hardware.catalog import gpu_spec
 from repro.core.sweep import SweepPoint, best_point, sweep_gemm
@@ -34,6 +34,7 @@ def best_cap_for_gemm(
     precision: str,
     sizes: Sequence[int],
     step_pct: float = 2.0,
+    cache: Optional["ExperimentCache"] = None,
 ) -> BestCap:
     """Scan matrix sizes, sweep caps for each, keep the global best.
 
@@ -44,7 +45,7 @@ def best_cap_for_gemm(
         raise ValueError("need at least one matrix size")
     best: tuple[SweepPoint, SweepPoint, int] | None = None  # (point, default, n)
     for n in sizes:
-        points = sweep_gemm(model, n, precision, step_pct=step_pct)
+        points = sweep_gemm(model, n, precision, step_pct=step_pct, cache=cache)
         cand = best_point(points)
         default = points[-1]  # the no-cap (TDP) point
         if best is None or cand.efficiency > best[0].efficiency:
@@ -62,9 +63,15 @@ def best_cap_for_gemm(
     )
 
 
-def best_cap_watts(model: str, precision: str, nb: int, step_pct: float = 2.0) -> float:
+def best_cap_watts(
+    model: str,
+    precision: str,
+    nb: int,
+    step_pct: float = 2.0,
+    cache: Optional["ExperimentCache"] = None,
+) -> float:
     """Table II ``P_best``: best cap for a single tile-sized GEMM."""
-    points = sweep_gemm(model, nb, precision, step_pct=step_pct)
+    points = sweep_gemm(model, nb, precision, step_pct=step_pct, cache=cache)
     return best_point(points).cap_w
 
 

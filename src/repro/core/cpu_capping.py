@@ -45,15 +45,19 @@ def compare_cpu_capping(
     cpu_caps: Optional[dict[int, float]] = None,
     scheduler: str = "dmdas",
     seed: int = 0,
+    cache: Optional["ExperimentCache"] = None,
 ) -> list[CPUCapComparison]:
     """Fig. 6: for each GPU cap config, run with and without the CPU cap."""
     caps = dict(PAPER_CPU_CAP if cpu_caps is None else cpu_caps)
     out = []
     for config in configs:
-        base = run_operation(platform, spec, config, states, scheduler=scheduler, seed=seed)
+        base = run_operation(
+            platform, spec, config, states,
+            scheduler=scheduler, seed=seed, cache=cache,
+        )
         capped = run_operation(
             platform, spec, config, states,
-            scheduler=scheduler, seed=seed, cpu_caps=caps,
+            scheduler=scheduler, seed=seed, cpu_caps=caps, cache=cache,
         )
         out.append(CPUCapComparison(config.letters, base, capped))
     return out

@@ -64,12 +64,25 @@ def sweep_gemm(
     step_pct: float = 2.0,
     m: Optional[int] = None,
     k: Optional[int] = None,
+    cache: Optional["ExperimentCache"] = None,
 ) -> list[SweepPoint]:
     """Sweep the power cap for an ``n x n x n`` GEMM on one GPU model.
 
     Caps run from the hardware minimum to the maximum in ``step_pct`` of TDP
     (requests below the minimum constraint are clamped, as NVML enforces).
+    The sweep is a pure function of its arguments, so with ``cache`` set the
+    whole point list is memoised (catalog models only — ad-hoc
+    :class:`GPUSpec` objects are uncacheable and always run).
     """
+    if cache is not None:
+        key = cache.key_for("sweep_gemm", (model, n, precision, step_pct, m, k))
+        if key is not None:
+            hit, value = cache.load(key)
+            if hit:
+                return value
+            value = sweep_gemm(model, n, precision, step_pct=step_pct, m=m, k=k)
+            cache.save(key, value, label=f"sweep/{model}/{precision}/n{n}")
+            return value
     spec = gpu_spec(model) if isinstance(model, str) else model
     sim = Simulator()
     gpu = GPUDevice(spec, 0, sim)
@@ -99,13 +112,15 @@ def sweep_many(
     cases: list[tuple],
     jobs: int = 1,
     step_pct: float = 2.0,
+    cache: Optional["ExperimentCache"] = None,
 ) -> list[list[SweepPoint]]:
     """Run several independent cap sweeps, optionally over a process pool.
 
     ``cases`` is a list of ``(model, n, precision)`` tuples; the result is
     one point list per case, in input order.  Each sweep owns its Simulator
     and device, so the parallel results are bit-identical to serial ones
-    (lazy import to avoid the ``core -> experiments`` cycle).
+    (lazy import to avoid the ``core -> experiments`` cycle); with ``cache``
+    set, hits are resolved before any pool work is submitted.
     """
     from repro.experiments.parallel import parallel_starmap
 
@@ -113,6 +128,7 @@ def sweep_many(
         sweep_gemm,
         [(model, n, precision, step_pct) for model, n, precision in cases],
         jobs=jobs,
+        cache=cache,
     )
 
 

@@ -63,8 +63,29 @@ def run_operation(
     seed: int = 0,
     cpu_caps: Optional[Mapping[int, float]] = None,
     tracer: Optional[Tracer] = None,
+    cache: Optional["ExperimentCache"] = None,
 ) -> ConfigMetrics:
-    """Execute one operation under one cap configuration; return metrics."""
+    """Execute one operation under one cap configuration; return metrics.
+
+    The run is a pure function of its arguments (own Simulator, own seeded
+    RNG pool), so with ``cache`` set the result is memoised under the full
+    run identity; traced runs (``tracer`` not ``None``) are never cached
+    because their side-channel artefacts cannot be replayed from a value.
+    """
+    if cache is not None:
+        key = cache.key_for(
+            "run_operation",
+            (platform, spec, config, states, scheduler, seed, cpu_caps, tracer),
+        )
+        if key is not None:
+            hit, value = cache.load(key)
+            if hit:
+                return value
+            value = run_operation(
+                platform, spec, config, states, scheduler, seed, cpu_caps, tracer
+            )
+            cache.save(key, value, label=f"{platform}/{spec.op}/{config.letters}")
+            return value
     sim = Simulator()
     node = build_platform(platform, sim, tracer)
     if config.n_gpus != node.n_gpus:
@@ -101,12 +122,14 @@ def run_config_set(
     seed: int = 0,
     cpu_caps: Optional[Mapping[int, float]] = None,
     jobs: int = 1,
+    cache: Optional["ExperimentCache"] = None,
 ) -> dict[str, ConfigMetrics]:
     """Run a set of configurations; keys are the config letter strings.
 
     Each configuration is an independent simulation, so ``jobs > 1`` fans
     them out over a process pool with bit-identical results (lazy import to
-    avoid the ``core -> experiments`` cycle).
+    avoid the ``core -> experiments`` cycle); ``cache`` resolves hits
+    before any pool work is submitted.
     """
     from repro.experiments.parallel import parallel_starmap
 
@@ -114,6 +137,7 @@ def run_config_set(
         run_operation,
         [(platform, spec, config, states, scheduler, seed, cpu_caps) for config in configs],
         jobs=jobs,
+        cache=cache,
     )
     return {config.letters: m for config, m in zip(configs, metrics)}
 
@@ -158,11 +182,13 @@ def run_repeated(
     base_seed: int = 0,
     cpu_caps: Optional[Mapping[int, float]] = None,
     jobs: int = 1,
+    cache: Optional["ExperimentCache"] = None,
 ) -> RepeatedMetrics:
     """Run one configuration ``repeats`` times with distinct seeds.
 
     Repetitions differ only by seed and are independent simulations, so
-    ``jobs > 1`` runs them across a process pool, bit-identically.
+    ``jobs > 1`` runs them across a process pool, bit-identically; each
+    seeded repetition is a distinct ``cache`` entry.
     """
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
@@ -176,6 +202,7 @@ def run_repeated(
                 for i in range(repeats)
             ],
             jobs=jobs,
+            cache=cache,
         )
     )
     return RepeatedMetrics(config=config.letters, runs=runs)

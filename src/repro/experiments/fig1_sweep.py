@@ -22,7 +22,11 @@ SIZES = {
 
 
 def run(
-    scale: str = "small", seed: int = 0, full_series: bool = False, jobs: int = 1
+    scale: str = "small",
+    seed: int = 0,
+    full_series: bool = False,
+    jobs: int = 1,
+    cache=None,
 ) -> ExperimentResult:
     check_scale(scale)
     cases = [
@@ -30,7 +34,7 @@ def run(
         for precision in ("double", "single")
         for n in SIZES[scale]
     ]
-    sweeps = sweep_many(cases, jobs=jobs)
+    sweeps = sweep_many(cases, jobs=jobs, cache=cache)
     if full_series:
         result = ExperimentResult(
             name="fig1",

@@ -11,9 +11,11 @@ def run(
     seed: int = 0,
     platforms: list[str] | None = None,
     jobs: int = 1,
+    cache=None,
 ) -> ExperimentResult:
     result = run_precision(
-        "double", "fig3", scale=scale, seed=seed, platforms=platforms, jobs=jobs
+        "double", "fig3", scale=scale, seed=seed, platforms=platforms, jobs=jobs,
+        cache=cache,
     )
     result.notes = [
         "paper 32-AMD-4-A100 GEMM: BBBB eff ~52 vs HHHH ~41 (+20-24 %), perf -21 %",

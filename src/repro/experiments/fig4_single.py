@@ -11,9 +11,11 @@ def run(
     seed: int = 0,
     platforms: list[str] | None = None,
     jobs: int = 1,
+    cache=None,
 ) -> ExperimentResult:
     result = run_precision(
-        "single", "fig4", scale=scale, seed=seed, platforms=platforms, jobs=jobs
+        "single", "fig4", scale=scale, seed=seed, platforms=platforms, jobs=jobs,
+        cache=cache,
     )
     result.notes = [
         "paper 32-AMD-4-A100: BBBB +33.78 % efficiency (GEMM); HHBB ~9.5 % energy "

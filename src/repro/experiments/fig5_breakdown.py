@@ -14,7 +14,7 @@ from repro.experiments.runner import ExperimentResult, check_scale
 PLATFORM = "24-Intel-2-V100"
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+def run(scale: str = "small", seed: int = 0, cache=None) -> ExperimentResult:
     check_scale(scale)
     result = ExperimentResult(
         name="fig5",
@@ -27,8 +27,10 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
     )
     for op in ("gemm", "potrf"):
         spec = operation_spec(PLATFORM, op, "double", scale)
-        states = cap_states(PLATFORM, op, "double", scale)
-        metrics = run_config_set(PLATFORM, spec, config_list(PLATFORM), states, seed=seed)
+        states = cap_states(PLATFORM, op, "double", scale, cache=cache)
+        metrics = run_config_set(
+            PLATFORM, spec, config_list(PLATFORM), states, seed=seed, cache=cache
+        )
         for config, m in metrics.items():
             total = m.energy_j
             for device in sorted(m.device_energy_j):

@@ -34,7 +34,7 @@ def _configs(n_gpus: int) -> list[CapConfig]:
     return [CapConfig("H" * n_gpus), CapConfig(half), CapConfig("B" * n_gpus)]
 
 
-def run(scale: str = "small", seed: int = 0, jobs: int = 1) -> ExperimentResult:
+def run(scale: str = "small", seed: int = 0, jobs: int = 1, cache=None) -> ExperimentResult:
     check_scale(scale)
     result = ExperimentResult(
         name="fig7",
@@ -58,7 +58,7 @@ def run(scale: str = "small", seed: int = 0, jobs: int = 1) -> ExperimentResult:
                 for nb in TILE_SIZES[platform][op]:
                     nt = _SCALE_NT[scale][op]
                     spec = OperationSpec(op=op, n=nb * nt, nb=nb, precision=precision)
-                    b_w = derived_best_cap_w(gspec.model, precision, nb)
+                    b_w = derived_best_cap_w(gspec.model, precision, nb, cache=cache)
                     states = CapStates(h_w=gspec.cap_max_w, b_w=b_w, l_w=gspec.cap_min_w)
                     for config in _configs(pspec.n_gpus):
                         rows_head.append((platform, op, precision, nb, config.letters))
@@ -66,7 +66,7 @@ def run(scale: str = "small", seed: int = 0, jobs: int = 1) -> ExperimentResult:
                             (platform, spec, config, states, "dmdas", seed,
                              PAPER_CPU_CAPS[platform])
                         )
-    metrics = parallel_starmap(run_operation, calls, jobs=jobs)
+    metrics = parallel_starmap(run_operation, calls, jobs=jobs, cache=cache)
     result.rows = [
         head + (round(m.efficiency, 2),) for head, m in zip(rows_head, metrics)
     ]

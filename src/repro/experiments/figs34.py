@@ -58,6 +58,7 @@ def run_precision(
     platforms: list[str] | None = None,
     ops: tuple[str, ...] = ("gemm", "potrf"),
     jobs: int = 1,
+    cache=None,
 ) -> ExperimentResult:
     check_scale(scale)
     result = ExperimentResult(
@@ -75,14 +76,14 @@ def run_precision(
     for platform in platforms or platform_names():
         for op in ops:
             spec = operation_spec(platform, op, precision, scale)
-            states = cap_states(platform, op, precision, scale)
+            states = cap_states(platform, op, precision, scale, cache=cache)
             configs = config_list(platform)
             cases.append((platform, op, configs))
             calls.extend(
                 (platform, spec, config, states, "dmdas", seed, PAPER_CPU_CAPS[platform])
                 for config in configs
             )
-    outcomes = iter(parallel_starmap(run_operation, calls, jobs=jobs))
+    outcomes = iter(parallel_starmap(run_operation, calls, jobs=jobs, cache=cache))
     for platform, op, configs in cases:
         metrics = {config.letters: next(outcomes) for config in configs}
         base = _baseline(metrics, configs, f"{platform}/{op}/{precision}")

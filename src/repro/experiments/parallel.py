@@ -44,6 +44,7 @@ def parallel_starmap(
     fn: Callable[..., Any],
     argtuples: Iterable[Sequence],
     jobs: Optional[int] = 1,
+    cache: Optional[Any] = None,
 ) -> list[Any]:
     """``[fn(*args) for args in argtuples]``, optionally across processes.
 
@@ -53,14 +54,55 @@ def parallel_starmap(
     function of its arguments the parallel result is bit-identical to the
     serial one.
 
+    ``cache`` (duck-typed so this module stays import-free; in practice a
+    :class:`repro.cache.ExperimentCache`) switches on the cache-aware path:
+    every call is keyed and looked up **in this process first**, and only
+    the misses are submitted to the pool — a warm sweep never pays pool
+    start-up.  Miss results are written through by the executing process
+    (atomically, so concurrent writers are safe) and the merged result list
+    keeps input order, bit-identical to the uncached path.
+
     ``fn`` and every argument must be picklable (module-level function,
     plain data arguments).  Exceptions raised by a call propagate to the
     caller, as in the serial loop.
     """
     calls = [(fn, tuple(args)) for args in argtuples]
+    if cache is not None:
+        return _cached_starmap(calls, jobs, cache)
     n_jobs = default_jobs() if jobs is None else int(jobs)
     if n_jobs <= 1 or len(calls) < 2:
         return [f(*args) for f, args in calls]
     n_jobs = min(n_jobs, len(calls))
     with ProcessPoolExecutor(max_workers=n_jobs) as pool:
         return list(pool.map(_invoke, calls, chunksize=1))
+
+
+def _cached_starmap(
+    calls: list[tuple[Callable[..., Any], tuple]],
+    jobs: Optional[int],
+    cache: Any,
+) -> list[Any]:
+    """Resolve hits in-process, fan only the misses out, merge in order."""
+    results: list[Any] = [None] * len(calls)
+    pending: list[tuple[int, tuple[Callable[..., Any], tuple]]] = []
+    for i, (f, args) in enumerate(calls):
+        key = cache.key_for(f, args)
+        if key is None:
+            pending.append((i, (f, args)))
+            continue
+        hit, value = cache.load(key)
+        if hit:
+            results[i] = value
+        else:
+            pending.append((i, (cache.compute_and_store, (key, f, args))))
+    n_jobs = default_jobs() if jobs is None else int(jobs)
+    if n_jobs <= 1 or len(pending) < 2:
+        for i, (f, args) in pending:
+            results[i] = f(*args)
+        return results
+    n_jobs = min(n_jobs, len(pending))
+    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+        payloads = [payload for _, payload in pending]
+        for (i, _), value in zip(pending, pool.map(_invoke, payloads, chunksize=1)):
+            results[i] = value
+    return results

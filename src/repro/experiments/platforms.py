@@ -12,7 +12,7 @@ kept alongside for the Table II comparison output.
 
 from __future__ import annotations
 
-from functools import lru_cache
+from typing import Optional
 
 from repro.core.bestcap import best_cap_watts
 from repro.core.capconfig import CapConfig, CapStates, standard_configs
@@ -61,17 +61,38 @@ def operation_spec(platform: str, op: str, precision: str, scale: str = "small")
     return OperationSpec(op=op, n=n, nb=nb, precision=precision)
 
 
-@lru_cache(maxsize=None)
-def derived_best_cap_w(model: str, precision: str, nb: int) -> float:
-    """``P_best`` derived by our own tile-GEMM sweep (cached)."""
-    return best_cap_watts(model, precision, nb)
+#: In-process memo for :func:`derived_best_cap_w`, used only when no disk
+#: cache is supplied — with one, the underlying sweep is memoised on disk
+#: instead, so repeated CLI invocations get real cache hits.
+_BEST_CAP_MEMO: dict[tuple[str, str, int], float] = {}
 
 
-def cap_states(platform: str, op: str, precision: str, scale: str = "small") -> CapStates:
+def derived_best_cap_w(
+    model: str,
+    precision: str,
+    nb: int,
+    cache: Optional["ExperimentCache"] = None,
+) -> float:
+    """``P_best`` derived by our own tile-GEMM sweep (memoised)."""
+    if cache is not None:
+        return best_cap_watts(model, precision, nb, cache=cache)
+    memo_key = (model, precision, nb)
+    if memo_key not in _BEST_CAP_MEMO:
+        _BEST_CAP_MEMO[memo_key] = best_cap_watts(model, precision, nb)
+    return _BEST_CAP_MEMO[memo_key]
+
+
+def cap_states(
+    platform: str,
+    op: str,
+    precision: str,
+    scale: str = "small",
+    cache: Optional["ExperimentCache"] = None,
+) -> CapStates:
     """The H/B/L watt values for one Table II row."""
     spec = gpu_spec(PLATFORMS[platform].gpu_model)
     op_spec = operation_spec(platform, op, precision, scale)
-    b = derived_best_cap_w(spec.model, precision, op_spec.nb)
+    b = derived_best_cap_w(spec.model, precision, op_spec.nb, cache=cache)
     return CapStates(h_w=spec.cap_max_w, b_w=b, l_w=spec.cap_min_w)
 
 

@@ -34,7 +34,7 @@ SIZES = {
 }
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+def run(scale: str = "small", seed: int = 0, cache=None) -> ExperimentResult:
     check_scale(scale)
     result = ExperimentResult(
         name="table1",
@@ -45,7 +45,7 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
         ],
     )
     for (model, precision), (p_n, p_cap, p_save) in PAPER_TABLE1.items():
-        best = best_cap_for_gemm(model, precision, SIZES[scale][model])
+        best = best_cap_for_gemm(model, precision, SIZES[scale][model], cache=cache)
         result.rows.append(
             (
                 model,

@@ -12,7 +12,7 @@ from repro.experiments.runner import ExperimentResult, check_scale
 from repro.hardware.catalog import PLATFORMS, gpu_spec
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+def run(scale: str = "small", seed: int = 0, cache=None) -> ExperimentResult:
     check_scale(scale)
     result = ExperimentResult(
         name="table2",
@@ -24,7 +24,7 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
     )
     for (platform, op, precision), (n_paper, nb, paper_pct) in TABLE2_PAPER.items():
         spec = operation_spec(platform, op, precision, scale)
-        states = cap_states(platform, op, precision, scale)
+        states = cap_states(platform, op, precision, scale, cache=cache)
         tdp = gpu_spec(PLATFORMS[platform].gpu_model).tdp_w
         result.rows.append(
             (

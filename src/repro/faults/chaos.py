@@ -59,11 +59,15 @@ from repro.tools.powertrace import PowerSampler
 
 @dataclass
 class ChaosRun:
-    """Everything produced by one chaos comparison."""
+    """Everything produced by one chaos comparison.
+
+    ``baseline`` is ``None`` when the fault-free baseline came from the
+    experiment cache (its numbers are in ``summary["baseline"]`` either way).
+    """
 
     outdir: Optional[Path]
     plan: FaultPlan  # resolved (absolute times)
-    baseline: RunResult
+    baseline: Optional[RunResult]
     faulted: RunResult
     summary: dict
     registry: MetricsRegistry
@@ -98,38 +102,84 @@ def run_chaos(
     scale: str = "custom",
     power_period_s: float = 0.005,
     cap_retries: int = 3,
+    cache=None,
 ) -> ChaosRun:
-    """Run ``spec`` under ``config`` with and without ``plan``'s faults."""
+    """Run ``spec`` under ``config`` with and without ``plan``'s faults.
+
+    With ``cache`` set, the fault-free baseline's numbers are memoised
+    under the full run identity (the baseline run itself is deterministic
+    and its artefacts are never written), so repeated chaos studies of the
+    same configuration skip the baseline simulation entirely; the faulted
+    run — whose artefacts and audit are the point — always executes.
+    """
+    n_platform_gpus = build_platform(platform, Simulator()).n_gpus
+    if config.n_gpus != n_platform_gpus:
+        raise ValueError(
+            f"config {config.letters} has {config.n_gpus} states for "
+            f"{n_platform_gpus} GPUs on {platform}"
+        )
+
+    base_key = None
+    baseline_vals: Optional[dict] = None
+    if cache is not None:
+        from repro.cache.experiment import operation_call
+
+        try:
+            call = operation_call(
+                "chaos_baseline", platform, spec, config, states,
+                scheduler, seed, cpu_caps,
+            )
+        except (AttributeError, TypeError, ValueError):
+            call = None
+        if call is not None:
+            base_key = cache.key_for_call(call)
+            hit, value = cache.load(base_key)
+            if hit:
+                baseline_vals = value
 
     # ------------------------------------------------------------- baseline
     # Instrumented exactly like the faulted run (tracer, metrics, decision
     # log, power sampler) so the degradation numbers isolate the *faults*,
     # not the instrumentation: with an empty plan the two runs are
     # event-for-event identical and degradation is exactly zero.
-    sim = Simulator()
-    base_tracer = Tracer()
-    node = build_platform(platform, sim, base_tracer)
-    if config.n_gpus != node.n_gpus:
-        raise ValueError(
-            f"config {config.letters} has {config.n_gpus} states for "
-            f"{node.n_gpus} GPUs on {platform}"
+    baseline: Optional[RunResult] = None
+    if baseline_vals is None:
+        sim = Simulator()
+        base_tracer = Tracer()
+        node = build_platform(platform, sim, base_tracer)
+        if config.n_gpus != node.n_gpus:
+            raise ValueError(
+                f"config {config.letters} has {config.n_gpus} states for "
+                f"{node.n_gpus} GPUs on {platform}"
+            )
+        node.set_gpu_caps(config.watts(states))
+        if cpu_caps:
+            for pkg, watts in cpu_caps.items():
+                node.cpus[pkg].set_power_limit(watts)
+        runtime = RuntimeSystem(
+            node, scheduler=scheduler, seed=seed, tracer=base_tracer,
+            metrics=MetricsRegistry(clock=sim), decision_log=DecisionLog(),
         )
-    node.set_gpu_caps(config.watts(states))
-    if cpu_caps:
-        for pkg, watts in cpu_caps.items():
-            node.cpus[pkg].set_power_limit(watts)
-    runtime = RuntimeSystem(
-        node, scheduler=scheduler, seed=seed, tracer=base_tracer,
-        metrics=MetricsRegistry(clock=sim), decision_log=DecisionLog(),
-    )
-    base_sampler = PowerSampler(node, runtime, period_s=power_period_s)
-    base_sampler.start()
-    meter = EnergyMeter(node)
-    meter.start()
-    baseline = runtime.run(spec.build_graph(), reset_energy=False)
-    base_measure = meter.stop()
+        base_sampler = PowerSampler(node, runtime, period_s=power_period_s)
+        base_sampler.start()
+        meter = EnergyMeter(node)
+        meter.start()
+        baseline = runtime.run(spec.build_graph(), reset_energy=False)
+        base_measure = meter.stop()
+        baseline_vals = {
+            "makespan_s": baseline.makespan_s,
+            "energy_j": base_measure.total_j,
+            "gflops": baseline.gflops,
+        }
+        if base_key is not None:
+            cache.save(
+                base_key, baseline_vals,
+                label=f"chaos-baseline/{platform}/{config.letters}",
+            )
 
-    resolved = plan.resolve(baseline.makespan_s) if plan.relative else plan
+    resolved = (
+        plan.resolve(baseline_vals["makespan_s"]) if plan.relative else plan
+    )
 
     # -------------------------------------------------------------- faulted
     sim = Simulator()
@@ -195,10 +245,12 @@ def run_chaos(
             "n_faults": len(resolved),
             "faults": [f.to_record() for f in resolved.faults],
         },
+        # Explicit key order: the cached payload round-trips through
+        # sorted-key JSON, and chaos.json must be byte-identical warm vs cold.
         "baseline": {
-            "makespan_s": baseline.makespan_s,
-            "energy_j": base_measure.total_j,
-            "gflops": baseline.gflops,
+            "makespan_s": baseline_vals["makespan_s"],
+            "energy_j": baseline_vals["energy_j"],
+            "gflops": baseline_vals["gflops"],
         },
         "faulted": {
             "makespan_s": faulted.makespan_s,
@@ -206,8 +258,12 @@ def run_chaos(
             "gflops": faulted.gflops,
         },
         "degradation": {
-            "makespan_pct": _pct(faulted.makespan_s, baseline.makespan_s),
-            "energy_pct": _pct(fault_measure.total_j, base_measure.total_j),
+            "makespan_pct": _pct(
+                faulted.makespan_s, baseline_vals["makespan_s"]
+            ),
+            "energy_pct": _pct(
+                fault_measure.total_j, baseline_vals["energy_j"]
+            ),
         },
         "faults_injected": injector.n_injected,
         "recovery": recovery.stats(),
@@ -232,6 +288,7 @@ def run_chaos(
             scale=scale,
             seed=seed,
             cpu_caps_w=applied_cpu_caps,
+            cache=cache.counts() if cache is not None else {},
             version=code_version(),
         )
         manifest.write(out)
@@ -240,8 +297,8 @@ def run_chaos(
             extra={
                 "measured_duration_s": fault_measure.duration_s,
                 "measured_total_j": fault_measure.total_j,
-                "baseline_makespan_s": baseline.makespan_s,
-                "baseline_energy_j": base_measure.total_j,
+                "baseline_makespan_s": baseline_vals["makespan_s"],
+                "baseline_energy_j": baseline_vals["energy_j"],
             },
         ), indent=2) + "\n")
         (out / CHAOS_FILENAME).write_text(json.dumps(summary, indent=2) + "\n")
@@ -255,6 +312,8 @@ def run_chaos(
         write_enriched_chrome_trace(
             str(out / TRACE_FILENAME), tracer, sampler, decisions
         )
+        if cache is not None:
+            cache.publish_metrics(registry)
         (out / METRICS_FILENAME).write_text(registry.to_prometheus())
 
     return ChaosRun(

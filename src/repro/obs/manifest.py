@@ -58,6 +58,7 @@ class RunManifest:
     scale: str
     seed: int
     cpu_caps_w: dict[str, float] = field(default_factory=dict)
+    cache: dict = field(default_factory=dict)  # hit/miss provenance + fingerprint
     version: str = ""
     python: str = field(default_factory=lambda: sys.version.split()[0])
     host: str = field(default_factory=_platform.node)

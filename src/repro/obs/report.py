@@ -286,6 +286,13 @@ class RunReport:
             ))
         else:
             parts.append("[idle] no idle gaps above threshold\n")
+        if self.manifest.cache:
+            c = self.manifest.cache
+            fp = str(c.get("fingerprint", ""))[:12]
+            parts.append(
+                f"[cache] {c.get('hits', 0)} hits, {c.get('misses', 0)} misses"
+                f" (dir {c.get('dir', '?')}, code {fp or 'unknown'})\n"
+            )
         audit = self.decision_audit()
         parts.append("[decisions] ")
         if audit["n_decisions"] == 0:

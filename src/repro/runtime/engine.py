@@ -383,6 +383,12 @@ class RuntimeSystem:
         set_total("repro_sim_events_total",
                   "Discrete events processed by the simulator.",
                   self.sim.n_processed)
+        set_total("repro_sim_events_cancelled_total",
+                  "Events cancelled before firing.",
+                  self.sim.n_cancelled_total)
+        set_total("repro_sim_heap_compactions_total",
+                  "Event-heap compaction passes.",
+                  self.sim.n_compactions)
         scheduler = self._scheduler
         if scheduler is not None:
             m.gauge("repro_placement_evals",

@@ -8,11 +8,19 @@ random-stream management (:mod:`repro.sim.rng`) so every experiment is
 reproducible bit-for-bit.
 """
 
-from repro.sim.engine import EventHandle, Simulator, SimulationError
+from repro.sim.engine import (
+    ENGINE_TOTALS,
+    EngineTotals,
+    EventHandle,
+    Simulator,
+    SimulationError,
+)
 from repro.sim.rng import RNGPool
 from repro.sim.tracing import Interval, Point, Tracer
 
 __all__ = [
+    "ENGINE_TOTALS",
+    "EngineTotals",
     "EventHandle",
     "Simulator",
     "SimulationError",

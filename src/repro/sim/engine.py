@@ -22,6 +22,29 @@ class SimulationError(RuntimeError):
     """Raised on invalid engine usage (e.g. scheduling in the past)."""
 
 
+@dataclass
+class EngineTotals:
+    """Process-wide accumulation of engine work across all Simulators.
+
+    Every :meth:`Simulator.run` flushes its deltas here on exit, so tools
+    that compare whole workloads (e.g. the warm-vs-cold cache benchmark) can
+    report how much simulation work actually happened without threading a
+    registry into every engine.  Counters only reflect work done in *this*
+    process — pool workers accumulate their own.
+    """
+
+    events: int = 0
+    compactions: int = 0
+    cancelled: int = 0
+
+    def snapshot(self) -> tuple[int, int, int]:
+        return (self.events, self.compactions, self.cancelled)
+
+
+#: The per-process accumulator (import and snapshot around a workload).
+ENGINE_TOTALS = EngineTotals()
+
+
 @dataclass(order=True)
 class _HeapEntry:
     time: float
@@ -87,6 +110,10 @@ class Simulator:
         self._n_cancelled = 0
         self.n_processed = 0
         self.n_compactions = 0
+        self.n_cancelled_total = 0
+        self._flushed_events = 0
+        self._flushed_compactions = 0
+        self._flushed_cancelled = 0
 
     @property
     def now(self) -> float:
@@ -123,6 +150,7 @@ class Simulator:
         unchanged.
         """
         self._n_cancelled += 1
+        self.n_cancelled_total += 1
         heap = self._heap
         if len(heap) >= self.COMPACT_MIN_SIZE and self._n_cancelled * 2 > len(heap):
             self._heap = [e for e in heap if not e.handle.cancelled]
@@ -175,8 +203,18 @@ class Simulator:
                 processed += 1
         finally:
             self._running = False
+            self._flush_totals()
         if until is not None and until > self._now:
             self._now = until
+
+    def _flush_totals(self) -> None:
+        """Push this simulator's work deltas into :data:`ENGINE_TOTALS`."""
+        ENGINE_TOTALS.events += self.n_processed - self._flushed_events
+        ENGINE_TOTALS.compactions += self.n_compactions - self._flushed_compactions
+        ENGINE_TOTALS.cancelled += self.n_cancelled_total - self._flushed_cancelled
+        self._flushed_events = self.n_processed
+        self._flushed_compactions = self.n_compactions
+        self._flushed_cancelled = self.n_cancelled_total
 
     def idle(self) -> bool:
         """True when no (non-cancelled) events are pending."""

@@ -1,0 +1,98 @@
+"""Key determinism and the code fingerprint."""
+
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.cache.keys import (
+    KEY_SCHEMA,
+    canonical_json,
+    code_fingerprint,
+    digest,
+    run_key,
+)
+
+
+def test_canonical_json_is_order_insensitive():
+    a = {"b": 1, "a": {"y": 2, "x": 3}}
+    b = {"a": {"x": 3, "y": 2}, "b": 1}
+    assert canonical_json(a) == canonical_json(b)
+    assert digest(a) == digest(b)
+
+
+def test_canonical_json_rejects_nan():
+    with pytest.raises(ValueError):
+        canonical_json({"v": float("nan")})
+
+
+def test_run_key_changes_with_fingerprint_and_call():
+    call = {"fn": "run_operation", "seed": 0}
+    k = run_key("fp1", call)
+    assert k == run_key("fp1", dict(call))
+    assert k != run_key("fp2", call)
+    assert k != run_key("fp1", {"fn": "run_operation", "seed": 1})
+    assert len(k) == 64 and int(k, 16) >= 0
+
+
+def test_key_schema_participates():
+    # Guards against silently reusing keys across key-layout changes.
+    call = {"fn": "x"}
+    doc = {"schema": KEY_SCHEMA, "fingerprint": "fp", "call": call}
+    assert run_key("fp", call) == digest(doc)
+
+
+def test_key_stable_across_processes():
+    # PYTHONHASHSEED varies between interpreters; keys must not.
+    import repro
+    from pathlib import Path
+
+    src = str(Path(repro.__file__).resolve().parents[1])
+    code = textwrap.dedent(
+        """
+        import sys
+        sys.path.insert(0, %r)
+        from repro.cache.keys import run_key
+        print(run_key("fp", {"b": 1, "a": [1.5, 2.25]}))
+        """
+    ) % src
+    keys = {
+        subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=True,
+            env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+        ).stdout.strip()
+        for seed in ("0", "1", "12345")
+    }
+    assert len(keys) == 1
+    assert keys == {run_key("fp", {"a": [1.5, 2.25], "b": 1})}
+
+
+def test_code_fingerprint_tracks_source_edits(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "a.py").write_text("X = 1\n")
+    (pkg / "b.py").write_text("Y = 2\n")
+    fp0 = code_fingerprint(pkg)
+    assert fp0 == code_fingerprint(pkg)  # deterministic
+
+    (pkg / "a.py").write_text("X = 99\n")
+    fp_edit = code_fingerprint(pkg)
+    assert fp_edit != fp0
+
+    (pkg / "a.py").write_text("X = 1\n")
+    assert code_fingerprint(pkg) == fp0  # content-addressed, reverts cleanly
+
+    (pkg / "c.py").write_text("")
+    fp_add = code_fingerprint(pkg)
+    assert fp_add not in (fp0, fp_edit)  # additions flip it too
+
+    (pkg / "c.py").unlink()
+    (pkg / "a.py").rename(pkg / "a2.py")
+    assert code_fingerprint(pkg) not in (fp0, fp_edit, fp_add)  # renames too
+
+
+def test_default_fingerprint_is_memoised_and_stable():
+    assert code_fingerprint() == code_fingerprint()
+    assert len(code_fingerprint()) == 64

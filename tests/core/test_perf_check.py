@@ -23,14 +23,22 @@ BASELINE = {
     "runtime_tasks_per_sec": 10000.0,
     "sim_events_per_sec": 500000.0,
     "placement_evals_per_task": 4.0,
+    "fig3_small_wall_s": 8.0,
+    "fig3_small_warm_wall_s": 0.01,
+    "fig3_warm_hit_rate": 1.0,
 }
 
 
-def current(tasks, sim=500000.0, evals=4.0):
+def current(tasks, sim=500000.0, evals=4.0, cold=8.0, warm=0.01,
+            hit_rate=1.0, rows_identical=True):
     return {
         "runtime_tasks_per_sec": tasks,
         "sim_events_per_sec": sim,
         "placement_evals_per_task": evals,
+        "fig3_small_wall_s": cold,
+        "fig3_small_warm_wall_s": warm,
+        "fig3_warm_hit_rate": hit_rate,
+        "fig3_warm_rows_identical": rows_identical,
     }
 
 
@@ -98,6 +106,37 @@ def test_zero_sim_engine_ratio_is_malformed_not_zerodivision(mod):
 def test_non_numeric_metric_is_malformed(mod):
     with pytest.raises(mod.MalformedInput, match="sim_events_per_sec"):
         mod.check(current(9700.0, sim="fast"), BASELINE)
+
+
+def test_warm_speedup_below_floor_fails(mod):
+    failures = mod.check(current(9700.0, cold=8.0, warm=4.0), BASELINE)
+    assert failures and "faster than cold" in failures[0]
+
+
+def test_warm_speedup_at_floor_passes(mod):
+    assert mod.check(current(9700.0, cold=8.0, warm=1.0), BASELINE) == []
+
+
+def test_partial_hit_rate_fails(mod):
+    failures = mod.check(current(9700.0, hit_rate=0.9), BASELINE)
+    assert failures and "hit rate" in failures[0]
+
+
+def test_warm_rows_mismatch_fails(mod):
+    failures = mod.check(current(9700.0, rows_identical=False), BASELINE)
+    assert failures and "rows differ" in failures[0]
+
+
+def test_zero_warm_wall_is_malformed_not_zerodivision(mod):
+    with pytest.raises(mod.MalformedInput, match="fig3_small_warm_wall_s"):
+        mod.check(current(9700.0, warm=0.0), BASELINE)
+
+
+def test_missing_warm_metrics_are_malformed(mod):
+    broken = current(9700.0)
+    del broken["fig3_warm_hit_rate"]
+    with pytest.raises(mod.MalformedInput, match="fig3_warm_hit_rate"):
+        mod.check(broken, BASELINE)
 
 
 def test_cli_reports_malformed_input_clearly(mod, tmp_path, capsys):
