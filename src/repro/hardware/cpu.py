@@ -48,6 +48,9 @@ class CPUPackage:
         self._tracer = tracer
         self._power_limit_w = spec.tdp_w
         self._freq_scale = 1.0
+        # Dynamic power of one working core at the current frequency; only
+        # changes with the cap, but consulted on every begin/end_core.
+        self._dyn_w = spec.per_core_w
         self._n_busy = 0
         self._n_spinning = 0
         self._energy_j = 0.0
@@ -64,11 +67,18 @@ class CPUPackage:
         self._last_t = now
 
     def _recompute_power(self) -> None:
-        self._advance()
-        dyn = self.spec.per_core_w * self._freq_scale**3
-        spinning = max(0, self._n_spinning - self._n_busy)
+        now = self._clock.now
+        if now < self._last_t:
+            raise RuntimeError("clock moved backwards")
+        self._energy_j += self._power_w * (now - self._last_t)
+        self._last_t = now
+        dyn = self._dyn_w
+        n_busy = self._n_busy
+        spinning = self._n_spinning - n_busy
+        if spinning < 0:
+            spinning = 0
         self._power_w = (
-            self.spec.idle_w + self._n_busy * dyn + spinning * SPIN_FACTOR * dyn
+            self.spec.idle_w + n_busy * dyn + spinning * SPIN_FACTOR * dyn
         )
 
     def energy_j(self) -> float:
@@ -129,6 +139,7 @@ class CPUPackage:
         self._freq_scale = cpu_freq_at_cap(
             watts, self.spec.idle_w, self.spec.tdp_w, self.spec.f_min
         )
+        self._dyn_w = self.spec.per_core_w * self._freq_scale**3
         self._recompute_power()
         if self._tracer is not None:
             self._tracer.point(self.name, "cap", self._clock.now, f"{watts:.0f}W")

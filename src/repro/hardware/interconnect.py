@@ -35,6 +35,15 @@ class Link:
         self._avail_at: dict[Direction, float] = {"h2d": 0.0, "d2h": 0.0}
         self.bytes_moved: dict[Direction, int] = {"h2d": 0, "d2h": 0}
         self.n_transfers: dict[Direction, int] = {"h2d": 0, "d2h": 0}
+        # Uncontended transfer times depend only on (spec, nbytes), and
+        # tile workloads use a handful of distinct sizes — memoise them.
+        self._tt_memo: dict[int, float] = {}
+
+    def _transfer_time(self, nbytes: int) -> float:
+        tt = self._tt_memo.get(nbytes)
+        if tt is None:
+            tt = self._tt_memo[nbytes] = self.spec.transfer_time(nbytes)
+        return tt
 
     def busy_until(self, direction: Direction) -> float:
         """Completion time of the last booked transfer in ``direction``."""
@@ -49,7 +58,7 @@ class Link:
         """Completion-time estimate for a transfer submitted now (seconds
         from now), including queueing behind in-flight transfers."""
         start = self.earliest_start(direction)
-        return (start - self._clock.now) + self.spec.transfer_time(nbytes)
+        return (start - self._clock.now) + self._transfer_time(nbytes)
 
     def stall_until(self, time: float, label: str = "") -> None:
         """Block both directions of the link until an absolute time.
@@ -75,7 +84,7 @@ class Link:
         if direction not in DIRECTIONS:
             raise ValueError(f"bad direction {direction!r}")
         start = self.earliest_start(direction, not_before)
-        end = start + self.spec.transfer_time(nbytes)
+        end = start + self._transfer_time(nbytes)
         self._avail_at[direction] = end
         self.bytes_moved[direction] += nbytes
         self.n_transfers[direction] += 1

@@ -83,6 +83,10 @@ class DataHandle:
         return f"<DataHandle #{self.hid} {self.label or ''} {self.nbytes}B>"
 
 
+#: Shared empty eviction list for MemoryManager.add's resident fast path.
+_NO_EVICTIONS: list = []
+
+
 class MemoryManager:
     """LRU residency tracking for one device memory node."""
 
@@ -94,6 +98,9 @@ class MemoryManager:
         self.used_bytes = 0
         self._resident: "OrderedDict[DataHandle, int]" = OrderedDict()
         self._pinned: dict[DataHandle, int] = {}
+        #: Bytes held by pinned handles, maintained incrementally so the
+        #: prefetch admission check is O(1) instead of a sum over the pins.
+        self.pinned_bytes = 0
         self.n_evictions = 0
 
     def resident(self, handle: DataHandle) -> bool:
@@ -104,12 +111,16 @@ class MemoryManager:
             self._resident.move_to_end(handle)
 
     def pin(self, handle: DataHandle) -> None:
-        self._pinned[handle] = self._pinned.get(handle, 0) + 1
+        count = self._pinned.get(handle, 0)
+        if count == 0:
+            self.pinned_bytes += handle.nbytes
+        self._pinned[handle] = count + 1
 
     def unpin(self, handle: DataHandle) -> None:
         count = self._pinned.get(handle, 0)
         if count <= 1:
-            self._pinned.pop(handle, None)
+            if self._pinned.pop(handle, None) is not None:
+                self.pinned_bytes -= handle.nbytes
         else:
             self._pinned[handle] = count - 1
 
@@ -117,11 +128,15 @@ class MemoryManager:
         """Make ``handle`` resident; returns the handles evicted to fit it.
 
         The caller is responsible for write-backs of dirty evictees and for
-        updating coherence state.
+        updating coherence state.  The returned list is shared when nothing
+        was evicted — callers only iterate it.
         """
-        if handle in self._resident:
-            self.touch(handle)
-            return []
+        try:
+            # Fast path: already resident — just refresh its LRU position.
+            self._resident.move_to_end(handle)
+            return _NO_EVICTIONS
+        except KeyError:
+            pass
         if handle.nbytes > self.capacity_bytes:
             raise CoherenceError(
                 f"handle of {handle.nbytes} B exceeds node {self.node_id} "
@@ -165,6 +180,12 @@ class DataManager:
                 int(gpu.spec.memory_gb * 1e9 * memory_headroom),
             )
             for i, gpu in enumerate(node.gpus)
+        }
+        # Link by device memory node, for estimate hot paths (node 1+i is
+        # GPU i's memory, served by links[i]).
+        self._links = {
+            node.mem_node_of_gpu(i): node.link_of_mem_node(node.mem_node_of_gpu(i))
+            for i in range(len(node.gpus))
         }
         self.bytes_transferred = 0
         self.n_transfers = 0
@@ -225,12 +246,67 @@ class DataManager:
             memo[key] = total
         return total
 
+    def transfer_estimates(
+        self,
+        handles: Sequence[tuple[DataHandle, AccessMode]],
+        targets: Sequence[int],
+    ) -> dict[int, float]:
+        """:meth:`transfer_estimate` for several targets in one pass.
+
+        One scheduling decision scores every placement class, and the
+        classes differ only in their memory node — so the walk over the
+        task's handles (and each handle's d2h queueing component, which
+        does not depend on the target) is shared across all targets.  Each
+        per-target total accumulates the exact same addends in the exact
+        same order as a :meth:`transfer_estimate` call would, so the sums
+        are bit-identical.
+        """
+        totals = dict.fromkeys(targets, 0.0)
+        now = self.node.clock.now
+        links = self._links
+        for handle, mode in handles:
+            if not mode.reads:
+                continue
+            valid = handle.valid_nodes
+            missing = [t for t in targets if t not in valid]
+            if not missing:
+                continue
+            nbytes = handle.nbytes
+            source = self._pick_source(handle)
+            if source != MEM_HOST:
+                link = links[source]
+                avail = link._avail_at["d2h"]
+                d2h = (avail - now if avail > now else 0.0) + link._transfer_time(nbytes)
+            else:
+                d2h = 0.0
+            for t in missing:
+                if t != MEM_HOST:
+                    link = links[t]
+                    avail = link._avail_at["h2d"]
+                    totals[t] += d2h + (
+                        (avail - now if avail > now else 0.0)
+                        + link._transfer_time(nbytes)
+                    )
+                else:
+                    totals[t] += d2h
+        return totals
+
     def _path_estimate(self, source: int, target: int, nbytes: int) -> float:
+        # Inlined Link.estimate (queueing delay + uncontended transfer
+        # time): this runs once per missing handle per placement class for
+        # every scheduling decision.  ``max(now, avail) - now`` is exactly
+        # ``avail - now`` when the link is backed up and ``0.0`` otherwise,
+        # so the folds below are bit-identical to the Link.estimate path.
         est = 0.0
+        now = self.node.clock.now
         if source != MEM_HOST:
-            est += self.node.link_of_mem_node(source).estimate(nbytes, "d2h")
+            link = self._links[source]
+            avail = link._avail_at["d2h"]
+            est += (avail - now if avail > now else 0.0) + link._transfer_time(nbytes)
         if target != MEM_HOST:
-            est += self.node.link_of_mem_node(target).estimate(nbytes, "h2d")
+            link = self._links[target]
+            avail = link._avail_at["h2d"]
+            est += (avail - now if avail > now else 0.0) + link._transfer_time(nbytes)
         return est
 
     # ------------------------------------------------------------ operations
@@ -252,25 +328,29 @@ class DataManager:
         """Stage all data for a task on ``target``; returns the absolute time
         at which every required replica is valid there (>= ``now``)."""
         ready = now
+        mgr = self.managers[target] if target != MEM_HOST else None
+        arrivals = self._arrival
         for handle, mode in handles:
             handle.check_invariants()
-            if target != MEM_HOST:
-                mgr = self.managers[target]
+            if mgr is not None:
                 for victim in mgr.add(handle):
                     self._evict(victim, target, label)
                 mgr.pin(handle)
             if mode.reads and target not in handle.valid_nodes:
-                ready = max(ready, self._fetch(handle, target, label, now))
+                fetched = self._fetch(handle, target, label, now)
+                if fetched > ready:
+                    ready = fetched
             elif target in handle.valid_nodes:
                 # Possibly still in flight from a prefetch.
-                arrival = self._arrival.get((handle.hid, target))
+                arrival = arrivals.get((handle.hid, target))
                 if arrival is not None:
                     if arrival > now:
-                        ready = max(ready, arrival)
+                        if arrival > ready:
+                            ready = arrival
                     else:
-                        del self._arrival[(handle.hid, target)]
-                if target != MEM_HOST:
-                    self.managers[target].touch(handle)
+                        del arrivals[(handle.hid, target)]
+                if mgr is not None:
+                    mgr.touch(handle)
             if mode == AccessMode.W and target not in handle.valid_nodes:
                 # Write-only: no fetch, the replica materialises on write.
                 pass
@@ -294,9 +374,7 @@ class DataManager:
                 continue
             if target != MEM_HOST:
                 mgr = self.managers[target]
-                if handle.nbytes > mgr.capacity_bytes - sum(
-                    h.nbytes for h in mgr._pinned
-                ):
+                if handle.nbytes > mgr.capacity_bytes - mgr.pinned_bytes:
                     continue  # do not evict pinned working-set for a prefetch
                 for victim in mgr.add(handle):
                     self._evict(victim, target, label)
@@ -345,16 +423,19 @@ class DataManager:
         target: int,
     ) -> None:
         """Apply write effects after the task ran on ``target`` and unpin."""
+        mgr = self.managers[target] if target != MEM_HOST else None
         for handle, mode in handles:
             if mode.writes:
                 # Invalidate all other replicas; target becomes owner.
-                for other in list(handle.valid_nodes):
-                    if other != target and other != MEM_HOST:
-                        self.managers[other].remove(handle)
-                handle.valid_nodes = {target}
+                valid = handle.valid_nodes
+                if len(valid) != 1 or target not in valid:
+                    for other in list(valid):
+                        if other != target and other != MEM_HOST:
+                            self.managers[other].remove(handle)
+                    handle.valid_nodes = {target}
                 handle.owner = target if target != MEM_HOST else None
-            if target != MEM_HOST:
-                self.managers[target].unpin(handle)
+            if mgr is not None:
+                mgr.unpin(handle)
             handle.check_invariants()
 
     def abandon(

@@ -106,6 +106,7 @@ class RuntimeSystem:
         ewma_alpha: Optional[float] = None,
         metrics: Optional[MetricsRegistry] = None,
         decision_log: Optional[DecisionLog] = None,
+        macro_tasks: bool = False,
     ) -> None:
         if not isinstance(node.clock, Simulator):
             raise RuntimeError_("node must be built on a Simulator clock")
@@ -124,6 +125,22 @@ class RuntimeSystem:
         # Observability (off by default: both None keeps hot paths clean).
         self.metrics = metrics
         self.decision_log = decision_log
+        #: Opt-in macro-task mode: a task whose inputs are already resident
+        #: (zero staging delay) starts executing inside the event that freed
+        #: its worker, fusing same-worker no-new-transfer task chains into
+        #: one engine event per link instead of two.  This reorders event
+        #: delivery relative to the reference schedule, so it is OFF by
+        #: default and excluded from the bit-identity bar (decision replay /
+        #: fig3 byte-compare run with it disabled).  Ignored while a fault
+        #: injector is attached (recovery needs cancellable staging events).
+        self.macro_tasks = macro_tasks
+        # Pre-drawn execution-noise samples.  Block draws from a numpy
+        # Generator are bit-identical to the same number of scalar draws,
+        # and the buffer survives across run() calls, so consumption order
+        # matches the unbuffered engine draw-for-draw.
+        self._noise_buf = None
+        self._noise_i = 0
+        self._noise_sigma = exec_noise
         # Fault recovery (off by default: None keeps hot paths clean; a
         # RecoveryManager binds itself here — see repro.faults.recovery).
         self.faults = None
@@ -197,6 +214,11 @@ class RuntimeSystem:
         self._graph = graph
         if self.faults is not None:
             self.faults.on_run_start(self._scheduler, graph)
+        # With no fault injector attached nothing ever cancels engine
+        # events, so the engine's no-handle fast path is safe; macro-task
+        # fusion additionally requires it (an inlined start has no event).
+        self._no_faults = self.faults is None
+        self._macro_inline = self.macro_tasks and self._no_faults
         self._remaining = len(graph.tasks)
         for w in self.workers:
             w.busy = False
@@ -442,31 +464,55 @@ class RuntimeSystem:
                 "Simulated transfer delay staging a task's inputs.",
                 labels={"arch": worker.arch},
             ).observe(max(0.0, ready - self.sim.now))
-        if isinstance(worker, GPUWorker):
+        if worker.is_gpu:
             # The driver core busy-waits through staging and execution.
             worker.driver_package.begin_core()
-        handle = self.sim.schedule_at(
-            max(self.sim.now, ready), self._start_exec, task, worker
-        )
-        if self.faults is not None:
+        now = self.sim.now
+        start = ready if ready > now else now
+        if self._no_faults:
+            if self._macro_inline and start <= now:
+                # Macro-task fusion: inputs are resident, so the kernel
+                # starts inside the event that freed the worker — no
+                # intermediate engine event for this chain link.
+                self._start_exec(task, worker)
+            else:
+                self.sim.post_at(start, self._start_exec, task, worker)
+        else:
+            handle = self.sim.schedule_at(start, self._start_exec, task, worker)
             self.faults.on_task_staging(task, worker, handle)
+
+    def _next_noise(self) -> float:
+        """Next pre-drawn lognormal execution-noise sample (refill by block)."""
+        i = self._noise_i
+        buf = self._noise_buf
+        if buf is None or i >= len(buf) or self._noise_sigma != self.exec_noise:
+            buf = self._noise_buf = self._exec_rng.lognormal(
+                0.0, self.exec_noise, size=1024
+            )
+            self._noise_sigma = self.exec_noise
+            i = 0
+        self._noise_i = i + 1
+        return buf[i]
 
     def _start_exec(self, task: Task, worker: WorkerType) -> None:
         now = self.sim.now
         task.start_time = now
-        noise = float(self._exec_rng.lognormal(0.0, self.exec_noise))
+        noise = float(self._next_noise())
         op = task.op
-        if isinstance(worker, GPUWorker):
+        if worker.is_gpu:
             worker.gpu.begin_kernel(op.precision, op.activity(worker.gpu.spec), task.label)
             duration = op.time_on_gpu(worker.gpu) * noise
         else:
             worker.package.begin_core()
             duration = op.time_on_cpu_core(worker.package) * noise
-        self.tracer.interval(
-            worker.name, "task", now, now + duration, task.label, task_kind=op.kind
-        )
-        handle = self.sim.schedule(duration, self._finish, task, worker, duration)
-        if self.faults is not None:
+        if self.tracer.enabled:
+            self.tracer.interval(
+                worker.name, "task", now, now + duration, task.label, task_kind=op.kind
+            )
+        if self._no_faults:
+            self.sim.post(duration, self._finish, task, worker, duration)
+        else:
+            handle = self.sim.schedule(duration, self._finish, task, worker, duration)
             self.faults.on_task_running(task, worker, handle, duration)
         # Overlap upcoming queued tasks' transfers with this execution.
         for nxt in self._scheduler.peek_many(worker, self.prefetch_depth):
@@ -474,7 +520,7 @@ class RuntimeSystem:
 
     def _finish(self, task: Task, worker: WorkerType, duration: float) -> None:
         now = self.sim.now
-        if isinstance(worker, GPUWorker):
+        if worker.is_gpu:
             worker.gpu.end_kernel()
             worker.driver_package.end_core()
         else:
@@ -502,13 +548,36 @@ class RuntimeSystem:
                 "Tasks completed, by executing worker.",
                 labels={"worker": worker.name},
             ).inc()
-        self._scheduler.task_finished(task, worker, now)
+        scheduler = self._scheduler
+        scheduler.task_finished(task, worker, now)
         self._remaining -= 1
-        for succ in task.successors:
-            succ.deps_remaining -= 1
-            if succ.deps_remaining == 0 and succ.state is TaskState.CREATED:
-                succ.state = TaskState.READY
-                if metrics is not None:
-                    self._ready_at[succ.tid] = now
-                self._scheduler.push_ready(succ, now)
-        self._dispatch_all()
+        if scheduler.binds_tasks:
+            # Targeted dispatch: between events no idle, available worker
+            # holds queued work (every dispatch round starts all of them),
+            # and queues only grow at push_ready.  So the only workers that
+            # can need a start here are the one this completion freed and
+            # the ones that just received pushes — examined in worker-index
+            # order, exactly as the full scan would.
+            targets = {worker.index: worker}
+            for succ in task.successors:
+                succ.deps_remaining -= 1
+                if succ.deps_remaining == 0 and succ.state is TaskState.CREATED:
+                    succ.state = TaskState.READY
+                    if metrics is not None:
+                        self._ready_at[succ.tid] = now
+                    placed = scheduler.push_ready(succ, now)
+                    if placed is not None:
+                        targets[placed.index] = placed
+            for index in sorted(targets):
+                w = targets[index]
+                if not w.busy and w.available and scheduler.has_work_for(w):
+                    self._try_start(w)
+        else:
+            for succ in task.successors:
+                succ.deps_remaining -= 1
+                if succ.deps_remaining == 0 and succ.state is TaskState.CREATED:
+                    succ.state = TaskState.READY
+                    if metrics is not None:
+                        self._ready_at[succ.tid] = now
+                    scheduler.push_ready(succ, now)
+            self._dispatch_all()

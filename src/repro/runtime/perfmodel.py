@@ -69,7 +69,11 @@ class HistoryModel:
     def record(self, key: ModelKey, arch: str, duration: float) -> None:
         if duration <= 0:
             raise ValueError("durations must be positive")
-        self._stats.setdefault((key, arch), _Stats()).add(duration)
+        k = (key, arch)
+        stats = self._stats.get(k)
+        if stats is None:
+            stats = self._stats[k] = _Stats()
+        stats.add(duration)
         if self.ewma_alpha is not None:
             prev = self._ewma.get((key, arch))
             self._ewma[(key, arch)] = (

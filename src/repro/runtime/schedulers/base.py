@@ -24,6 +24,13 @@ class Scheduler(ABC):
     #: Whether the policy consults calibrated performance models.
     uses_perfmodel = False
 
+    #: Whether :meth:`push_ready` binds each task to one worker at push time
+    #: (and returns that worker).  The engine uses this for targeted
+    #: dispatch: after a completion it only re-examines the freed worker and
+    #: the workers that just received pushes, instead of scanning the whole
+    #: worker list.  Shared-queue policies leave this False.
+    binds_tasks = False
+
     #: Observability hook: a :class:`repro.obs.decisions.DecisionLog` (or any
     #: object with an ``append(record)`` method).  ``None`` — the default —
     #: disables decision logging entirely; model-based schedulers must not
@@ -41,6 +48,10 @@ class Scheduler(ABC):
         if not workers:
             raise ValueError("scheduler needs at least one worker")
         self.workers = list(workers)
+        #: Worker position by name: the index into ``self.workers`` (and
+        #: into every array-structured state a policy keeps, e.g. the dm
+        #: backlog array).
+        self._pos = {w.name: i for i, w in enumerate(self.workers)}
         self.perf = perf
         self.data = data
         self.rng = rng
@@ -50,7 +61,7 @@ class Scheduler(ABC):
         #: set of names; the placement classes are rebuilt on each change,
         #: so the per-push hot path never consults it.
         self._excluded: set[str] = set()
-        self._placement_classes = self._build_placement_classes()
+        self._rebuild_placement_classes()
 
     def placement_class_key(self, worker: WorkerType):
         """Equivalence key for placement: workers sharing it are
@@ -76,6 +87,39 @@ class Scheduler(ABC):
             )
         return list(classes.values())
 
+    def _rebuild_placement_classes(self) -> None:
+        """Refresh both views of the placement classes.
+
+        ``_placement_classes`` is the member list; ``_placement_classes_np``
+        pairs each class with a numpy index array into the policy's
+        worker-position-indexed state (e.g. the dm backlog array), so member
+        costs can be computed as one vectorized expression."""
+        self._placement_classes = self._build_placement_classes()
+        self._placement_classes_np = []
+        for members in self._placement_classes:
+            indices = np.fromiter((i for i, _ in members), dtype=np.intp)
+            # Workers of one class are consecutive in the worker list for
+            # every cataloged platform (GPU workers first, then each CPU
+            # package's cores in order), so the class's backlog segment is
+            # usually a zero-copy slice of the backlog array; exclusions can
+            # punch holes, in which case fancy indexing (a copy) is used.
+            first = int(indices[0])
+            contiguous = slice(first, first + len(members))
+            if len(members) > 1 and int(indices[-1]) != first + len(members) - 1:
+                contiguous = None
+            # Reusable output buffer for the vectorized cost fold (avoids a
+            # fresh allocation per class per decision).
+            buf = np.empty(len(members)) if len(members) > 1 else None
+            self._placement_classes_np.append((members, indices, contiguous, buf))
+        #: Distinct memory nodes across the placement classes, in class
+        #: order — the targets a data-aware policy must price per decision.
+        seen: dict = {}
+        for members in self._placement_classes:
+            mem = getattr(members[0][1], "mem_node", None)
+            if mem is not None:
+                seen[mem] = True
+        self._placement_mem_nodes = tuple(seen)
+
     # -------------------------------------------------------- fault recovery
 
     def exclude_worker(self, worker: WorkerType) -> list[Task]:
@@ -86,21 +130,40 @@ class Scheduler(ABC):
         surviving workers.  Policies with shared queues return ``[]``.
         """
         self._excluded.add(worker.name)
-        self._placement_classes = self._build_placement_classes()
+        self._rebuild_placement_classes()
         return self._drain_queue(worker)
 
     def readmit_worker(self, worker: WorkerType) -> None:
         """Put a previously excluded worker back into placement."""
         self._excluded.discard(worker.name)
-        self._placement_classes = self._build_placement_classes()
+        self._rebuild_placement_classes()
 
     def _drain_queue(self, worker: WorkerType) -> list[Task]:
         """Empty the worker's private queue; default for shared queues."""
         return []
 
+    # ---------------------------------------------------------- decision hooks
+
+    def _prepare_decision(self, task: Task, now: float) -> None:
+        """Hook: called once per placement decision, before the class scan.
+
+        Data-aware policies use it to batch-compute per-memory-node state
+        shared by every placement class (e.g. dmda's transfer estimates),
+        instead of recomputing it class by class inside
+        :meth:`~repro.runtime.schedulers.dm.DMScheduler.placement_terms`.
+        """
+
+    def _finish_decision(self) -> None:
+        """Hook: called after the class scan (even on error); drop any
+        per-decision state installed by :meth:`_prepare_decision`."""
+
     @abstractmethod
-    def push_ready(self, task: Task, now: float) -> None:
-        """A task became ready; decide where it queues."""
+    def push_ready(self, task: Task, now: float) -> Optional[WorkerType]:
+        """A task became ready; decide where it queues.
+
+        Policies with :attr:`binds_tasks` return the worker the task was
+        bound to (targeted dispatch); shared-queue policies return ``None``.
+        """
 
     @abstractmethod
     def pop(self, worker: WorkerType, now: float) -> Optional[Task]:

@@ -15,8 +15,12 @@ Placement is evaluated per *equivalence class* of workers, not per worker:
 two workers with the same ``(arch, mem_node)`` see identical duration
 estimates and transfer penalties, so their costs differ only by backlog.
 The expensive cost terms (:meth:`placement_terms`) are therefore computed
-once per class and folded with each member's backlog in the same order a
-per-worker scan would use, which keeps the selection bit-identical to the
+once per class; each member's cost is the class terms folded onto its
+backlog.  Backlogs live in a numpy array indexed by worker position, so a
+class's member costs are one vectorized expression
+(``backlog[indices] + t0 + t1 + ...``) instead of a Python loop — and
+because IEEE-754 addition is applied element-wise in the same left-to-right
+order a per-worker scan would use, the selection stays bit-identical to the
 brute-force path (kept behind :attr:`brute_force_placement` for testing)
 while collapsing ~26 model/transfer evaluations per push to ~3 on the
 paper's platforms.  See ``docs/performance.md``.
@@ -28,6 +32,8 @@ import math
 from collections import deque
 from typing import Optional
 
+import numpy as np
+
 from repro.obs.decisions import CandidateClass, DecisionRecord
 from repro.runtime.graph import Task
 from repro.runtime.schedulers.base import Scheduler
@@ -37,6 +43,7 @@ from repro.runtime.worker import WorkerType
 class DMScheduler(Scheduler):
     name = "dm"
     uses_perfmodel = True
+    binds_tasks = True
 
     #: Debug flag: evaluate :meth:`placement_cost` for every eligible worker
     #: (the pre-optimization path) instead of once per equivalence class.
@@ -46,9 +53,15 @@ class DMScheduler(Scheduler):
     def __init__(self, workers, perf, data, rng) -> None:
         super().__init__(workers, perf, data, rng)
         self._queues: dict[str, deque[Task]] = {w.name: deque() for w in self.workers}
-        self._backlog: dict[str, float] = {w.name: 0.0 for w in self.workers}
+        #: Summed estimated seconds queued per worker, indexed by the
+        #: worker's position in ``self.workers`` (see ``Scheduler._pos``).
+        self._backlog = np.zeros(len(self.workers))
         self._task_est: dict[int, float] = {}
         self.n_placement_evals = 0
+
+    def backlog_of(self, worker: WorkerType) -> float:
+        """Current backlog seconds attributed to ``worker``."""
+        return float(self._backlog[self._pos[worker.name]])
 
     # --------------------------------------------------------------- scoring
 
@@ -67,7 +80,7 @@ class DMScheduler(Scheduler):
 
     def placement_cost(self, task: Task, worker: WorkerType, now: float) -> float:
         """Expected completion time of ``task`` on ``worker``."""
-        cost = self._backlog[worker.name]
+        cost = float(self._backlog[self._pos[worker.name]])
         for term in self.placement_terms(task, worker, now):
             cost += term
         return cost
@@ -97,7 +110,7 @@ class DMScheduler(Scheduler):
                             class_key=self.placement_class_label(w),
                             workers=(w.name,),
                             indices=(index_of[w.name],),
-                            backlogs=(self._backlog[w.name],),
+                            backlogs=(float(self._backlog[index_of[w.name]]),),
                             terms=(),
                             costs=(cost,),
                         )
@@ -110,38 +123,81 @@ class DMScheduler(Scheduler):
         best_index = -1
         best_est = 0.0
         backlog = self._backlog
+        op = task.op
+        runs_on_gpu = op.runs_on_gpu
         candidates = [] if log is not None else None
-        with self.data.estimate_cache():
-            for members in self._placement_classes:
-                if not members[0][1].can_run(task.op):
+        # Scoped transfer-estimate memo for this decision (same effect as
+        # data.estimate_cache(), without the contextmanager overhead).
+        # Policies that batch their data estimates (dmda) precompute them in
+        # _prepare_decision instead, making the memo a no-op.
+        data = self.data
+        fresh_memo = data._estimate_memo is None
+        if fresh_memo:
+            data._estimate_memo = {}
+        self._prepare_decision(task, now)
+        try:
+            for members, indices, view, buf in self._placement_classes_np:
+                w0 = members[0][1]
+                if w0.is_gpu and not runs_on_gpu:
                     continue
-                terms = self.placement_terms(task, members[0][1], now)
+                terms = self.placement_terms(task, w0, now)
                 self.n_placement_evals += 1
-                member_costs = [] if candidates is not None else None
-                for index, worker in members:
-                    cost = backlog[worker.name]
+                if buf is None:
+                    # Singleton class (each GPU is its own arch): scalar fold.
+                    index = members[0][0]
+                    cost = backlog[index]
                     for term in terms:
-                        cost += term
-                    if member_costs is not None:
-                        member_costs.append(cost)
+                        cost = cost + term
                     if cost < best_cost or (cost == best_cost and index < best_index):
                         best, best_cost, best_index, best_est = (
-                            worker, cost, index, terms[0],
+                            w0, cost, index, terms[0],
                         )
+                    if candidates is not None:
+                        costs_list = [float(cost)]
+                        class_backlogs = (float(backlog[index]),)
+                else:
+                    # Vectorized fold: element-wise IEEE adds in the same
+                    # left-to-right order as the scalar loop, so every cost
+                    # is bit-identical to a per-worker scan.  ``view`` is a
+                    # zero-copy slice of the backlog array when the class's
+                    # workers are consecutive (always, on the cataloged
+                    # platforms); ``buf`` is the class's reusable output
+                    # array.
+                    seg = backlog[view] if view is not None else backlog[indices]
+                    np.add(seg, terms[0], out=buf)
+                    for term in terms[1:]:
+                        np.add(buf, term, out=buf)
+                    # argmin returns the FIRST minimum; members are in
+                    # worker-index order, so this is the lowest-index winner
+                    # — the same tie-break as the scalar scan.
+                    i = int(buf.argmin())
+                    cost = buf[i]
+                    index = members[i][0]
+                    if cost < best_cost or (cost == best_cost and index < best_index):
+                        best, best_cost, best_index, best_est = (
+                            members[i][1], cost, index, terms[0],
+                        )
+                    if candidates is not None:
+                        costs_list = buf.tolist()
+                        class_backlogs = tuple(seg.tolist())
                 if candidates is not None:
                     candidates.append(CandidateClass(
-                        class_key=self.placement_class_label(members[0][1]),
+                        class_key=self.placement_class_label(w0),
                         workers=tuple(w.name for _, w in members),
                         indices=tuple(i for i, _ in members),
-                        backlogs=tuple(backlog[w.name] for _, w in members),
+                        backlogs=class_backlogs,
                         terms=tuple(terms),
-                        costs=tuple(member_costs),
+                        costs=tuple(costs_list),
                     ))
+        finally:
+            self._finish_decision()
+            if fresh_memo:
+                data._estimate_memo = None
         if best is None:
             raise RuntimeError(f"no worker can run {task.op.kind!r}")
         if log is not None:
             log.append(self._decision_record(
-                task, now, best.name, best_cost, tuple(candidates)
+                task, now, best.name, float(best_cost), tuple(candidates)
             ))
         return best, best_est
 
@@ -170,12 +226,14 @@ class DMScheduler(Scheduler):
         """Queue the placed task on its worker (policy-specific order)."""
         self._queues[worker.name].append(task)
 
-    def push_ready(self, task: Task, now: float) -> None:
+    def push_ready(self, task: Task, now: float) -> Optional[WorkerType]:
         best, est = self._select_worker(task, now)
         self._enqueue(best, task)
-        self._backlog[best.name] += est
+        pos = self._pos[best.name]
+        self._backlog[pos] += est
         self._task_est[task.tid] = est
         self.n_pushed += 1
+        return best
 
     def has_work_for(self, worker: WorkerType) -> bool:
         return bool(self._queues[worker.name])
@@ -200,7 +258,8 @@ class DMScheduler(Scheduler):
 
     def task_finished(self, task: Task, worker: WorkerType, now: float) -> None:
         est = self._task_est.pop(task.tid, 0.0)
-        self._backlog[worker.name] = max(0.0, self._backlog[worker.name] - est)
+        pos = self._pos[worker.name]
+        self._backlog[pos] = max(0.0, self._backlog[pos] - est)
 
     def _drain_queue(self, worker: WorkerType) -> list[Task]:
         queue = self._queues[worker.name]
@@ -208,7 +267,7 @@ class DMScheduler(Scheduler):
         queue.clear()
         # The worker is gone: nothing queued (or running) counts against it
         # any more.  Re-pushed tasks are re-estimated on their new worker.
-        self._backlog[worker.name] = 0.0
+        self._backlog[self._pos[worker.name]] = 0.0
         for task in drained:
             self._task_est.pop(task.tid, None)
         return drained

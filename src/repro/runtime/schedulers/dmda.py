@@ -15,7 +15,32 @@ from repro.runtime.worker import WorkerType
 class DMDAScheduler(DMScheduler):
     name = "dmda"
 
+    #: Per-decision transfer estimates keyed by memory node, installed by
+    #: :meth:`_prepare_decision`.  ``None`` outside a decision (and for
+    #: callers that invoke :meth:`placement_terms` directly, e.g. the
+    #: brute-force equivalence path), in which case the singular
+    #: ``transfer_estimate`` fallback runs.
+    _xfer_by_node = None
+
+    def _prepare_decision(self, task: Task, now: float) -> None:
+        # One pass over the task's handles prices every candidate memory
+        # node at once (the d2h leg of each miss is shared across targets),
+        # instead of one full walk per placement class.
+        nodes = self._placement_mem_nodes
+        if nodes:
+            self._xfer_by_node = self.data.transfer_estimates(
+                task.accesses, nodes
+            )
+
+    def _finish_decision(self) -> None:
+        self._xfer_by_node = None
+
     def placement_terms(self, task: Task, worker: WorkerType, now: float) -> tuple[float, ...]:
-        return super().placement_terms(task, worker, now) + (
-            self.data.transfer_estimate(task.accesses, worker.mem_node),
+        # Flattened (no super() chain): this runs once per placement class
+        # for every pushed task.  terms[0] must stay the duration estimate.
+        xfer = self._xfer_by_node
+        return (
+            self.perf.estimate(task.op, worker.arch),
+            xfer[worker.mem_node] if xfer is not None
+            else self.data.transfer_estimate(task.accesses, worker.mem_node),
         )

@@ -48,15 +48,22 @@ class DMDASScheduler(DMDAScheduler):
 
     def peek_many(self, worker: WorkerType, depth: int) -> list[Task]:
         heap = self._heaps[worker.name]
-        if not heap:
+        if not heap or depth <= 0:
             return []
-        return [t for _, _, t in heapq.nsmallest(depth, heap)]
+        if depth == 1 or len(heap) == 1:
+            return [heap[0][2]]
+        # The d smallest entries of a binary heap all sit within the first
+        # 2^d - 1 positions, so sorting that prefix beats nsmallest's
+        # general-purpose machinery for the tiny prefetch depths used here.
+        prefix = heap[: (1 << depth) - 1]
+        prefix.sort()
+        return [t for _, _, t in prefix[:depth]]
 
     def _drain_queue(self, worker: WorkerType) -> list[Task]:
         heap = self._heaps[worker.name]
         drained = [task for _, _, task in sorted(heap)]
         heap.clear()
-        self._backlog[worker.name] = 0.0
+        self._backlog[self._pos[worker.name]] = 0.0
         for task in drained:
             self._task_est.pop(task.tid, None)
         return drained

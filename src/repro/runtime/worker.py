@@ -20,9 +20,18 @@ from repro.hardware.node import Node
 class Worker:
     """Base worker: a schedulable processing unit."""
 
+    #: Class-level flag (overridden by :class:`GPUWorker`): consulted on
+    #: every placement/dispatch step, where an ``isinstance`` check is
+    #: measurable.
+    is_gpu = False
+
     def __init__(self, name: str, arch: str) -> None:
         self.name = name
         self.arch = arch
+        #: Position in the node's worker list (stamped by
+        #: :func:`build_workers`); array-structured runtime state (scheduler
+        #: backlogs, engine dispatch) is indexed by it.
+        self.index = -1
         self.busy = False
         #: Cleared while the worker is dead/quarantined (fault recovery);
         #: the engine never dispatches to an unavailable worker.
@@ -30,10 +39,6 @@ class Worker:
         self.n_tasks = 0
         self.busy_time = 0.0
         self.flops_done = 0.0
-
-    @property
-    def is_gpu(self) -> bool:
-        return isinstance(self, GPUWorker)
 
     def can_run(self, op) -> bool:
         """Whether this worker has an implementation for the tile kernel."""
@@ -54,6 +59,8 @@ class CPUWorker(Worker):
 
 class GPUWorker(Worker):
     """One GPU stream plus its dedicated (busy-waiting) driver core."""
+
+    is_gpu = True
 
     def __init__(self, gpu: GPUDevice, mem_node: int, driver_package: CPUPackage) -> None:
         super().__init__(name=f"gpu-w{gpu.index}", arch=f"cuda{gpu.index}")
@@ -89,7 +96,10 @@ def build_workers(node: Node) -> list[WorkerType]:
         for _ in range(cpu.spec.n_cores - reserved[pkg_index]):
             cpu_workers.append(CPUWorker(windex, cpu))
             windex += 1
-    return gpu_workers + cpu_workers
+    workers = gpu_workers + cpu_workers
+    for i, w in enumerate(workers):
+        w.index = i
+    return workers
 
 
 def ground_truth_duration(worker: WorkerType, op) -> float:

@@ -22,10 +22,20 @@ def mod():
 BASELINE = {
     "runtime_tasks_per_sec": 10000.0,
     "sim_events_per_sec": 500000.0,
+    "sim_burst_events_per_sec": 600000.0,
     "placement_evals_per_task": 4.0,
     "fig3_small_wall_s": 8.0,
     "fig3_small_warm_wall_s": 0.01,
     "fig3_warm_hit_rate": 1.0,
+}
+
+#: A pre-refactor capture the test BASELINE beats by exactly the margins
+#: implied: sim 500k/150k = 3.33x, burst 600k/150k = 4x, runtime
+#: 10000/7000 = 1.43x — all above the committed floors.
+PRE_REFACTOR = {
+    "runtime_tasks_per_sec": 7000.0,
+    "sim_events_per_sec": 150000.0,
+    "sim_burst_events_per_sec": 150000.0,
 }
 
 
@@ -70,15 +80,73 @@ def test_committed_baseline_is_valid(mod):
     assert mod.check(dict(baseline), baseline) == []
 
 
+def test_committed_baseline_clears_speedup_floors(mod):
+    # The refactor's headline claim, enforced against the two committed
+    # same-machine captures.
+    baseline = json.loads((_PATH / "BENCH_baseline.json").read_text())
+    pre = json.loads((_PATH / "BENCH_pre_refactor.json").read_text())
+    assert mod.check_speedup(baseline, pre) == []
+
+
+def test_speedup_below_floor_fails(mod):
+    slow = dict(BASELINE, sim_events_per_sec=400000.0)  # 2.67x < 3x
+    failures = mod.check_speedup(slow, PRE_REFACTOR)
+    assert failures and "sim_events_per_sec" in failures[0]
+    assert "floor" in failures[0]
+
+
+def test_runtime_speedup_floor_is_lower_than_sim(mod):
+    # 1.31x runtime clears its 1.3x floor even though it would fail a 3x bar.
+    ok = dict(BASELINE, runtime_tasks_per_sec=9170.0)
+    assert mod.check_speedup(ok, PRE_REFACTOR) == []
+    bad = dict(BASELINE, runtime_tasks_per_sec=9000.0)  # 1.29x
+    failures = mod.check_speedup(bad, PRE_REFACTOR)
+    assert failures and "runtime_tasks_per_sec" in failures[0]
+
+
+def test_speedup_missing_metric_is_malformed(mod):
+    broken = dict(PRE_REFACTOR)
+    del broken["sim_burst_events_per_sec"]
+    with pytest.raises(mod.MalformedInput, match="sim_burst_events_per_sec"):
+        mod.check_speedup(BASELINE, broken)
+
+
+def test_speedup_zero_pre_refactor_is_malformed(mod):
+    with pytest.raises(mod.MalformedInput, match="positive pre-refactor"):
+        mod.check_speedup(
+            BASELINE, dict(PRE_REFACTOR, sim_burst_events_per_sec=0.0)
+        )
+
+
 def test_cli_exit_codes(mod, tmp_path, capsys):
     cur = tmp_path / "cur.json"
     cur.write_text(json.dumps(current(9700.0)))
     base = tmp_path / "base.json"
     base.write_text(json.dumps(BASELINE))
-    assert mod.main([str(cur), "--baseline", str(base)]) == 0
+    pre = tmp_path / "pre.json"
+    pre.write_text(json.dumps(PRE_REFACTOR))
+    args = ["--baseline", str(base), "--pre-refactor", str(pre)]
+    assert mod.main([str(cur), *args]) == 0
     cur.write_text(json.dumps(current(1000.0)))
-    assert mod.main([str(cur), "--baseline", str(base)]) == 1
+    assert mod.main([str(cur), *args]) == 1
     assert mod.main([str(tmp_path / "missing.json")]) == 2
+    capsys.readouterr()
+
+
+def test_cli_speedup_floor_failure_is_exit_1(mod, tmp_path, capsys):
+    cur = tmp_path / "cur.json"
+    base = tmp_path / "base.json"
+    pre = tmp_path / "pre.json"
+    # Baseline only 2x the pre-refactor sim throughput: the fresh run can
+    # match the baseline perfectly and the floors still fail the build.
+    doc = dict(BASELINE)
+    cur.write_text(json.dumps(dict(doc, fig3_warm_rows_identical=True)))
+    base.write_text(json.dumps(doc))
+    pre.write_text(json.dumps(dict(PRE_REFACTOR, sim_events_per_sec=250000.0)))
+    args = [str(cur), "--baseline", str(base), "--pre-refactor", str(pre)]
+    assert mod.main(args) == 1
+    assert "floor" in capsys.readouterr().err
+    assert mod.main([*args, "--skip-speedup-floors"]) == 0
     capsys.readouterr()
 
 

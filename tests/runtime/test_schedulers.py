@@ -132,10 +132,10 @@ def test_dm_backlog_shrinks_on_finish(setup):
     t = _task()
     s.push_ready(t, 0.0)
     w = next(w for w in workers if s._queues[w.name])
-    assert s._backlog[w.name] > 0
+    assert s.backlog_of(w) > 0
     s.pop(w, 0.0)
     s.task_finished(t, w, 1.0)
-    assert s._backlog[w.name] == 0.0
+    assert s.backlog_of(w) == 0.0
 
 
 def test_dmda_penalises_remote_data(setup):

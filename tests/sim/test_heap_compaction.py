@@ -1,9 +1,11 @@
-"""Cancelled-event compaction of the simulator heap.
+"""Cancelled-event compaction of the simulator's pending set.
 
 Workloads that cancel far more events than they fire (timeout guards,
-speculative transfers) must not leave the heap dominated by dead entries:
-once cancellations outnumber live events, the heap is filtered and
-re-heapified.  Event order and the fired set must be unaffected.
+speculative transfers) must not leave the queue dominated by dead entries:
+once cancellations outnumber live events, the pending set is filtered in
+place.  Event order and the fired set must be unaffected — including for
+equal-timestamp bursts, whose relative (seq) order is part of the engine's
+determinism contract.
 """
 
 from __future__ import annotations
@@ -18,15 +20,61 @@ def test_compaction_triggers_and_preserves_order():
     for h in handles[:400]:
         h.cancel()
     assert sim.n_compactions >= 1
-    # Dead entries are actually gone from the heap, not just flagged.
-    assert len(sim._heap) <= 500 - 400 + Simulator.COMPACT_MIN_SIZE
+    # Dead entries are actually gone from the pending set, not just flagged.
+    assert sim.n_pending() <= 500 - 400 + Simulator.COMPACT_MIN_SIZE
     sim.run()
     assert fired == list(range(400, 500))
 
 
+def test_compaction_preserves_equal_timestamp_order():
+    # A burst of events at the same timestamp must keep schedule order
+    # across a compaction: (time, seq) keys are untouched by the filter.
+    sim = Simulator()
+    fired: list[int] = []
+    handles = [sim.schedule(1.0, fired.append, i) for i in range(300)]
+    # Cancel a strided subset so survivors interleave with dead entries.
+    cancelled = {i for i in range(300) if i % 3 != 0}
+    for i in sorted(cancelled):
+        handles[i].cancel()
+    assert sim.n_compactions >= 1
+    sim.run()
+    survivors = [i for i in range(300) if i not in cancelled]
+    assert fired == survivors
+
+
+def test_compaction_spans_out_of_order_entries():
+    # Entries that were admitted out of order (spilled past the monotonic
+    # frontier) must still merge correctly with in-order entries after a
+    # compaction removes their neighbours.
+    sim = Simulator()
+    fired: list[float] = []
+    sim.schedule(10.0, fired.append, 10.0)  # raises the frontier
+    late = [sim.schedule(20.0 + i, fired.append, 20.0 + i) for i in range(100)]
+    early = [sim.schedule(1.0 + i, fired.append, 1.0 + i) for i in range(100)]
+    for h in late[1:] + early[1:]:
+        h.cancel()
+    assert sim.n_compactions >= 1
+    sim.run()
+    assert fired == [1.0, 10.0, 20.0]
+
+
+def test_peek_and_idle_agree_after_compaction_removes_top():
+    sim = Simulator()
+    doomed = [sim.schedule(1.0 + i, lambda: None) for i in range(200)]
+    keep = sim.schedule(500.0, lambda: None)
+    for h in doomed:  # includes the earliest entry — the queue front
+        h.cancel()
+    assert sim.n_compactions >= 1
+    assert sim.peek() == 500.0
+    assert not sim.idle()
+    keep.cancel()
+    assert sim.peek() is None
+    assert sim.idle()
+
+
 def test_cancel_is_idempotent_for_the_counter():
     sim = Simulator()
-    _keep = sim.schedule(2.0, lambda: None)  # holds a live event in the heap
+    _keep = sim.schedule(2.0, lambda: None)  # holds a live event in the queue
     h = sim.schedule(1.0, lambda: None)
     for _ in range(5):
         h.cancel()
@@ -36,7 +84,7 @@ def test_cancel_is_idempotent_for_the_counter():
     assert sim.n_processed == 1
 
 
-def test_small_heaps_are_left_alone():
+def test_small_pending_sets_are_left_alone():
     sim = Simulator()
     handles = [sim.schedule(1.0 + i, lambda: None) for i in range(10)]
     for h in handles:
@@ -46,13 +94,13 @@ def test_small_heaps_are_left_alone():
     assert sim.n_processed == 0
 
 
-def test_lazy_pop_keeps_counter_consistent():
+def test_lazy_discard_keeps_counter_consistent():
     sim = Simulator()
     fired = []
     h1 = sim.schedule(1.0, fired.append, 1)
     sim.schedule(2.0, fired.append, 2)
     h1.cancel()
-    assert sim.peek() == 2.0  # pops the cancelled head lazily
+    assert sim.peek() == 2.0  # discards the cancelled front lazily
     assert sim._n_cancelled == 0
     sim.run()
     assert fired == [2]
