@@ -18,7 +18,17 @@ Four headline numbers, chosen to cover the optimised layers:
 - ``fig3_small_warm_wall_s`` — the same driver re-run against the
   now-populated cache: every run resolves from disk, and the ratio to the
   cold wall is the incremental-sweep speedup ``check_regression.py``
-  enforces.
+  enforces;
+- ``obs_attached_ratio`` — live-telemetry overhead: the wall-time ratio of
+  ``repro trace --stream`` to plain ``repro trace`` on the reference run
+  (the product toggle the streaming stack adds: both sides run the full
+  tracing instrumentation and write the same artifact set; the attached
+  side streams ``events.jsonl`` live through the bus, the detached side
+  exports it post-hoc), enforced ≤ 1.05× by ``check_regression.py``.
+  The run-phase-only ratio (``obs_run_phase_ratio``, the same toggle with
+  the timed window restricted to ``RuntimeSystem.run`` plus the closing
+  drain) rides along as evidence — it isolates the bus/subscriber cost
+  from the export savings that the end-to-end number nets out.
 
 Every timed measurement is repeated at least three times
 (``--repeats``, floored at 3) and the **median** is reported as the
@@ -71,11 +81,16 @@ def _reference_setup():
     return platform, spec, states, config
 
 
-def _timed_reference_run(platform, spec, states, config, **runtime_kwargs):
+def _timed_reference_run(platform, spec, states, config, attach=None,
+                         **runtime_kwargs):
     """One reference run; returns ``(wall_seconds, RunResult)``.
 
     Platform and graph construction are deliberately outside the timed
-    window: the metric is runtime throughput, not setup cost.
+    window: the metric is runtime throughput, not setup cost.  ``attach``
+    (if given) is called with ``(sim, runtime)`` before the timed window —
+    the hook the observability-overhead benchmark uses to wire a telemetry
+    bus — and may return a finalizer that runs *inside* the window (so a
+    stream writer's final flush counts as overhead, as it does in a run).
     """
     from repro.hardware.catalog import build_platform
     from repro.runtime import RuntimeSystem
@@ -86,8 +101,11 @@ def _timed_reference_run(platform, spec, states, config, **runtime_kwargs):
     node.set_gpu_caps(config.watts(states))
     runtime = RuntimeSystem(node, scheduler="dmdas", seed=0, **runtime_kwargs)
     graph = spec.build_graph()
+    finish = attach(sim, runtime) if attach is not None else None
     t0 = time.perf_counter()
     result = runtime.run(graph)
+    if finish is not None:
+        finish()
     return time.perf_counter() - t0, result
 
 
@@ -130,6 +148,149 @@ def bench_runtime(repeats: int) -> dict:
             _spread("runtime_macro_tasks_per_sec", macro_walls, result.n_tasks)
         )
     return payload
+
+
+def _traced_reference_run(platform, spec, states, config, stream_dir=None):
+    """One reference run in the ``repro trace`` configuration.
+
+    Both halves of the overhead pair run the full tracing stack — tracer,
+    metrics registry, decision log, power sampler — because that is the
+    only configuration that can stream (the CLI wires the bus inside
+    :func:`repro.obs.capture.run_traced`); a bare runtime with a bus is
+    not a product path, and benchmarking one would measure a denominator
+    no user ever runs.  ``stream_dir`` switches the streaming side on:
+    the live-telemetry stack is wired exactly as ``attach_stream`` does
+    (same batch, same subscriber order, decision log and power sampler
+    publishing included).  Returns ``(wall_s, result, writer)`` where the
+    timed window covers the run plus the bus's closing drain/flush, and
+    ``writer`` is ``None`` for detached runs.
+    """
+    from repro.hardware.catalog import build_platform
+    from repro.obs.decisions import DecisionLog
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.stream import (
+        OnlineAggregator,
+        StreamWriter,
+        TelemetryBus,
+        Watchdogs,
+    )
+    from repro.runtime import RuntimeSystem
+    from repro.sim import Simulator, Tracer
+    from repro.tools.powertrace import PowerSampler
+
+    sim = Simulator()
+    tracer = Tracer()
+    node = build_platform(platform, sim, tracer)
+    node.set_gpu_caps(config.watts(states))
+    registry = MetricsRegistry(clock=sim)
+    decisions = DecisionLog()
+    runtime = RuntimeSystem(
+        node, scheduler="dmdas", seed=0, tracer=tracer,
+        metrics=registry, decision_log=decisions,
+    )
+    sampler = PowerSampler(node, runtime, period_s=0.005)
+    graph = spec.build_graph()
+    writer = None
+    close = None
+    if stream_dir is not None:
+        bus = TelemetryBus(clock=sim, batch=64)
+        writer = StreamWriter(str(Path(stream_dir) / "events.jsonl"))
+        aggregator = OnlineAggregator()
+        watchdogs = Watchdogs(aggregator, bus)
+        bus.subscribe(writer)
+        bus.subscribe(aggregator)
+        bus.subscribe(watchdogs)
+        runtime.bus = bus
+        decisions.bus = bus
+        sampler.bus = bus
+        close = bus.close
+    sampler.start()
+    t0 = time.perf_counter()
+    result = runtime.run(graph)
+    if close is not None:
+        close()
+    return time.perf_counter() - t0, result, writer
+
+
+def bench_obs(repeats: int) -> dict:
+    """Observability overhead: streaming-attached vs detached traced runs.
+
+    The headline ``obs_attached_ratio`` is the product comparison the
+    streaming stack actually changes: one full ``run_traced`` with
+    ``stream=True`` (``events.jsonl`` written live through the telemetry
+    bus — writer, aggregator, watchdogs, decision log and power sampler
+    publishing) against one with ``stream=False`` (the same artifact set,
+    ``events.jsonl`` exported post-hoc).  Each repeat is a *pair* run in
+    alternating order — machine speed drifts over a bench session (turbo
+    decay, cache state), and a fixed order would book all of that drift
+    against one side — and the headline is the median per-pair ratio;
+    ``check_regression.py`` enforces the ceiling.  The streamed run's
+    result must equal the detached one — telemetry that perturbs the
+    simulation is a bug, not overhead.
+
+    ``obs_run_phase_ratio`` rides along as ungated evidence: the same
+    toggle with the timed window restricted to the run phase (no artifact
+    export on either side), which isolates the bus/subscriber cost that
+    the end-to-end number partly nets out against the skipped post-hoc
+    ``events.jsonl`` export.
+    """
+    import tempfile
+
+    from repro.obs.capture import run_traced
+
+    platform, spec, states, config = _reference_setup()
+    ratios, off_walls, on_walls = [], [], []
+    n_stream_events = 0
+    identical = True
+
+    def traced(stream, outdir):
+        t0 = time.perf_counter()
+        run = run_traced(
+            platform, spec, config, states, outdir,
+            scheduler="dmdas", seed=0, stream=stream,
+        )
+        return time.perf_counter() - t0, run
+
+    for i in range(repeats):
+        with tempfile.TemporaryDirectory(prefix="repro-bench-obs-") as tmp:
+            on_dir = str(Path(tmp) / "on")
+            off_dir = str(Path(tmp) / "off")
+            if i % 2:
+                wall_on, run_on = traced(True, on_dir)
+                wall_off, run_off = traced(False, off_dir)
+            else:
+                wall_off, run_off = traced(False, off_dir)
+                wall_on, run_on = traced(True, on_dir)
+            n_stream_events = run_on.bus.n_published
+        off_walls.append(wall_off)
+        on_walls.append(wall_on)
+        ratios.append(wall_on / wall_off)
+        identical = identical and run_on.result == run_off.result
+
+    phase_ratios = []
+    for i in range(min(repeats, 5)):
+        with tempfile.TemporaryDirectory(prefix="repro-bench-obs-") as tmp:
+            if i % 2:
+                on = _traced_reference_run(
+                    platform, spec, states, config, stream_dir=tmp
+                )[0]
+                off = _traced_reference_run(platform, spec, states, config)[0]
+            else:
+                off = _traced_reference_run(platform, spec, states, config)[0]
+                on = _traced_reference_run(
+                    platform, spec, states, config, stream_dir=tmp
+                )[0]
+            phase_ratios.append(on / off)
+
+    return {
+        "obs_attached_ratio": round(statistics.median(ratios), 4),
+        "obs_attached_ratio_max": round(max(ratios), 4),
+        "obs_detached_wall_s": round(statistics.median(off_walls), 4),
+        "obs_attached_wall_s": round(statistics.median(on_walls), 4),
+        "obs_run_phase_ratio": round(statistics.median(phase_ratios), 4),
+        "obs_stream_events": n_stream_events,
+        "obs_results_identical": identical,
+    }
 
 
 def _chain_wall(n_events: int, cancellable: bool) -> float:
@@ -312,6 +473,7 @@ def main(argv=None) -> int:
     payload = {"benchmark": "repro-perf", "scale": "small",
                "bench_repeats": repeats}
     payload.update(bench_runtime(repeats))
+    payload.update(bench_obs(repeats))
     payload.update(bench_sim(repeats, args.sim_events))
     if not args.skip_fig3:
         payload.update(bench_fig3(MIN_REPEATS, args.jobs))

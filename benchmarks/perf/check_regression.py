@@ -14,6 +14,13 @@ machines' event-engine numbers, then requires
 all beyond rounding: it is the equivalence-class bound that
 ``docs/performance.md`` documents.
 
+Two further same-machine ratios are enforced on the current capture
+directly (pair ratios need no machine-speed correction): the cached-fig3
+warm speedup floor, and the live-telemetry overhead ceiling
+``obs_attached_ratio <= 1.05`` (a streaming-attached traced run must not
+cost more than 1.05x a detached one; a missing metric is malformed input,
+exit code 2, not a silent pass).
+
 The check also enforces the hot-loop refactor's **speedup floors**: the
 committed ``BENCH_baseline.json`` (post-refactor) must beat the committed
 ``BENCH_pre_refactor.json`` (the seed's engine, re-measured under this
@@ -57,6 +64,7 @@ REQUIRED_METRICS = (
     "fig3_small_wall_s",
     "fig3_small_warm_wall_s",
     "fig3_warm_hit_rate",
+    "obs_attached_ratio",
 )
 
 #: Metrics the speedup-floor comparison needs from both committed files.
@@ -69,6 +77,16 @@ SPEEDUP_METRICS = (
 #: Minimum cold/warm wall ratio for the cached fig3 re-run.  The ratio is a
 #: same-machine comparison, so no machine-speed normalisation applies.
 MIN_WARM_SPEEDUP = 5.0
+
+#: Maximum wall-time ratio of a streaming-attached traced reference run to
+#: a detached one (``repro trace --stream`` vs ``repro trace``; see
+#: ``bench_perf.bench_obs``).  The ratio pairs two runs on the same
+#: machine inside one bench invocation, so — like the warm-speedup floor —
+#: it needs no machine-speed normalisation and is enforced on the current
+#: capture directly.  Measured ~0.85 (streaming replaces the post-hoc
+#: ``events.jsonl`` export with a cheaper live writer); the ceiling is the
+#: ISSUE's contract, with the slack left to absorb CI-runner noise.
+OBS_OVERHEAD_CEILING = 1.05
 
 #: Post/pre-refactor throughput floors (same machine, same harness — raw
 #: ratios).  See the module docstring for the measured ratios behind them.
@@ -171,6 +189,24 @@ def check(
         )
     if current.get("fig3_warm_rows_identical") is False:
         failures.append("warm fig3 rows differ from the cold run")
+
+    obs_ratio = current["obs_attached_ratio"]
+    print(
+        f"obs attached/detached ratio: {obs_ratio:.4f} "
+        f"(ceiling {OBS_OVERHEAD_CEILING:.2f}, baseline "
+        f"{baseline['obs_attached_ratio']:.4f})"
+    )
+    if obs_ratio > OBS_OVERHEAD_CEILING:
+        failures.append(
+            f"live-telemetry overhead {obs_ratio:.4f}x exceeds the "
+            f"{OBS_OVERHEAD_CEILING:.2f}x attached/detached ceiling "
+            "(same-machine pair ratio; no normalisation applies)"
+        )
+    if current.get("obs_results_identical") is False:
+        failures.append(
+            "streaming-attached run result differs from the detached run: "
+            "telemetry is perturbing the simulation"
+        )
     return failures
 
 

@@ -31,6 +31,7 @@ from typing import Any, Callable, Optional, Sequence
 
 from repro.cache.keys import code_fingerprint, run_key
 from repro.cache.store import CacheStore, CorruptEntry
+from repro.obs import spans as _spans
 
 #: Positional defaults of ``run_operation`` past the four required args.
 _RUN_OPERATION_DEFAULTS: tuple = ("dmdas", 0, None, None)
@@ -60,6 +61,15 @@ class ExperimentCache:
         self.misses = 0
         self.corrupt = 0
         self.write_errors = 0
+        #: Optional live-telemetry bus; lookups publish ``cache`` events so
+        #: online watchdogs can spot miss storms.  Never pickled (buses hold
+        #: open file handles), so pool workers see a detached cache.
+        self.bus = None
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["bus"] = None
+        return state
 
     # ------------------------------------------------------------------ keys
 
@@ -129,6 +139,11 @@ class ExperimentCache:
             self.corrupt += 1
             self.store.discard(key)
             entry = None
+        result = "miss" if entry is None else "hit"
+        if self.bus is not None:
+            self.bus.publish({"type": "cache", "result": result, "key": key[:12]})
+        if _spans.ACTIVE is not None:
+            _spans.event("cache.lookup", result=result, key=key[:12])
         if entry is None:
             self.misses += 1
             return False, None

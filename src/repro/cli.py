@@ -7,8 +7,13 @@ Three families of commands::
     repro sweep --model ... --n ...      # ad-hoc kernel cap sweep (Sec. II)
     repro tradeoff --platform ... --config HHBB ...   # ad-hoc app run (Sec. V)
     repro trace --config HL --outdir runs/hl          # instrumented run + artefacts
+    repro trace --config HL --outdir runs/hl --stream # ... with live events.jsonl
     repro report runs/hl                              # audit a traced run
+    repro watch runs/hl --follow                      # live dashboard over a stream
     repro chaos --preset kill-throttle                # fault-injected run + audit
+
+Any run-producing command accepts ``--spans FILE`` to record a span trace
+of where its wall time went (see :mod:`repro.obs.spans`).
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ import inspect
 import os
 import sys
 import time
+from contextlib import contextmanager
 from typing import Optional, Sequence
 
 from repro.experiments import EXPERIMENTS
@@ -67,6 +73,38 @@ def _add_cache_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_spans_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--spans", default=None, metavar="FILE",
+        help="record a span trace of the command (phases, cache lookups, "
+        "pool-worker calls) to FILE as JSONL",
+    )
+
+
+@contextmanager
+def _span_tracing(args):
+    """Activate a span tracer for the command when ``--spans`` was given.
+
+    The whole command runs inside one ``cli`` root span; on exit the merged
+    trace (including any adopted pool-worker spans) is written out.
+    """
+    spans_path = getattr(args, "spans", None)
+    if not spans_path:
+        yield
+        return
+    from repro.obs import spans as spans_mod
+
+    tracer = spans_mod.SpanTracer()
+    spans_mod.activate(tracer)
+    try:
+        with tracer.span("cli", command=args.command):
+            yield
+    finally:
+        spans_mod.deactivate()
+        n = tracer.write_jsonl(spans_path)
+        sys.stdout.write(f"  (wrote {n} spans to {spans_path})\n")
+
+
 def _open_cache(args):
     """The ExperimentCache the flags ask for, or ``None`` for uncached."""
     if getattr(args, "no_cache", False):
@@ -102,6 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
             help="also write result.txt/result.csv/manifest.json under DIR/<name>",
         )
         _add_cache_args(p)
+        _add_spans_arg(p)
 
     sub.add_parser("list", help="list available experiments")
 
@@ -125,6 +164,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for the config ladder (0 = one per core)")
     p.add_argument("--csv", action="store_true")
     _add_cache_args(p)
+    _add_spans_arg(p)
 
     p = sub.add_parser(
         "trace",
@@ -143,7 +183,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="power sampling period in simulated seconds")
     p.add_argument("--report", action="store_true",
                    help="print the run report after tracing")
+    p.add_argument("--stream", action="store_true",
+                   help="write events.jsonl live through the telemetry bus "
+                   "(watchable mid-run with `repro watch`; crash-tolerant)")
     _add_cache_args(p)  # the traced run is uncacheable; this caches P_best
+    _add_spans_arg(p)
 
     p = sub.add_parser(
         "chaos",
@@ -168,12 +212,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--power-period", type=float, default=0.005, metavar="S")
     p.add_argument("--report", action="store_true",
                    help="print the run report after the chaos run")
+    p.add_argument("--stream", action="store_true",
+                   help="stream the faulted run's events.jsonl live "
+                   "(requires --outdir)")
     _add_cache_args(p)
+    _add_spans_arg(p)
 
     p = sub.add_parser("report", help="summarize a traced run directory")
     p.add_argument("rundir", help="directory written by `repro trace`")
     p.add_argument("--max-gaps", type=int, default=8,
                    help="idle gaps to list (longest first)")
+    p.add_argument("--follow", action="store_true",
+                   help="wait for a live run to finish, then report it")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="give up following after S seconds and report "
+                   "whatever the stream holds")
+
+    p = sub.add_parser(
+        "watch",
+        help="tail a streamed run directory as a refreshing text dashboard "
+        "(works on live, completed and killed runs)",
+    )
+    p.add_argument("rundir", help="directory written with --stream")
+    p.add_argument("--follow", action="store_true",
+                   help="keep refreshing until the run ends (default: render "
+                   "the current state once)")
+    p.add_argument("--interval", type=float, default=0.5, metavar="S",
+                   help="poll interval while following")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="stop following after S seconds")
+    p.add_argument("--no-clear", action="store_true",
+                   help="append frames instead of clearing the screen")
 
     p = sub.add_parser("cache", help="inspect and maintain the experiment cache")
     p.add_argument(
@@ -293,14 +362,20 @@ def _cmd_trace(args) -> int:
         args.platform, spec, CapConfig(args.config.upper()), states,
         outdir=args.outdir, scheduler=args.scheduler, seed=args.seed,
         scale=args.scale, power_period_s=args.power_period,
+        stream=args.stream,
     )
+    events_note = "events.jsonl(streamed)" if args.stream else "events.jsonl"
     sys.stdout.write(
         f"wrote {traced.outdir}: manifest.json result.json decisions.jsonl "
-        f"events.jsonl trace.json metrics.prom\n"
+        f"{events_note} trace.json metrics.prom\n"
         f"  {traced.result.n_tasks} tasks, {len(traced.decisions)} decisions, "
         f"{len(traced.sampler.samples)} power samples, "
         f"makespan {traced.result.makespan_s:.4f}s\n"
     )
+    if args.stream and traced.anomalies:
+        sys.stdout.write(
+            f"  {len(traced.anomalies)} watchdog anomalies (see report)\n"
+        )
     if args.report:
         sys.stdout.write("\n" + render_report(str(traced.outdir)))
     return 0
@@ -317,6 +392,9 @@ def _cmd_chaos(args) -> int:
         for name in PRESET_NAMES:
             print(name)
         return 0
+    if args.stream and args.outdir is None:
+        print("repro chaos: --stream requires --outdir", file=sys.stderr)
+        return 2
     if args.plan is not None:
         plan = FaultPlan.load(args.plan)
     else:
@@ -331,6 +409,7 @@ def _cmd_chaos(args) -> int:
         args.platform, spec, CapConfig(letters), states, plan,
         outdir=args.outdir, scheduler=args.scheduler, seed=args.seed,
         scale=args.scale, power_period_s=args.power_period, cache=cache,
+        stream=args.stream,
     )
     sys.stdout.write(render_chaos_summary(chaos.summary))
     _emit_cache_line(cache)
@@ -349,7 +428,34 @@ def _cmd_chaos(args) -> int:
 def _cmd_report(args) -> int:
     from repro.obs.report import render_report
 
+    if args.follow:
+        from repro.obs.watch import wait_for_run_end
+
+        if not wait_for_run_end(args.rundir, timeout_s=args.timeout):
+            sys.stdout.write(
+                "[stream] timeout waiting for the run to finish; "
+                "reporting the partial stream\n"
+            )
     sys.stdout.write(render_report(args.rundir, max_gaps=args.max_gaps))
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    from repro.obs.watch import watch_command
+
+    try:
+        watch_command(
+            args.rundir,
+            follow=args.follow,
+            interval_s=args.interval,
+            timeout_s=args.timeout,
+            clear=not args.no_clear,
+        )
+    except FileNotFoundError as exc:
+        print(f"repro watch: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 130
     return 0
 
 
@@ -381,6 +487,11 @@ def _cmd_cache(args) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    with _span_tracing(args):
+        return _dispatch(args)
+
+
+def _dispatch(args) -> int:
     if args.command == "list":
         for name in sorted(EXPERIMENTS):
             print(name)
@@ -395,6 +506,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_chaos(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
     if args.command == "cache":
         return _cmd_cache(args)
     cache = _open_cache(args)

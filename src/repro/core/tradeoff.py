@@ -17,6 +17,7 @@ from repro.core.efficiency import ConfigMetrics
 from repro.energy.meters import EnergyMeter
 from repro.hardware.catalog import build_platform
 from repro.linalg import assign_priorities, gemm_graph, potrf_graph
+from repro.obs import spans as _spans
 from repro.runtime import RuntimeSystem
 from repro.sim import Simulator, Tracer
 
@@ -86,31 +87,40 @@ def run_operation(
             )
             cache.save(key, value, label=f"{platform}/{spec.op}/{config.letters}")
             return value
-    sim = Simulator()
-    node = build_platform(platform, sim, tracer)
-    if config.n_gpus != node.n_gpus:
-        raise ValueError(
-            f"config {config.letters} has {config.n_gpus} states for "
-            f"{node.n_gpus} GPUs on {platform}"
-        )
-    node.set_gpu_caps(config.watts(states))
-    if cpu_caps:
-        for pkg, watts in cpu_caps.items():
-            node.cpus[pkg].set_power_limit(watts)
-    runtime = RuntimeSystem(node, scheduler=scheduler, seed=seed, tracer=tracer)
-    graph = spec.build_graph()
-    meter = EnergyMeter(node)
-    meter.start()
-    result = runtime.run(graph, reset_energy=False)
-    measurement = meter.stop()
-    return ConfigMetrics(
+    with _spans.span(
+        "run_operation",
+        platform=platform,
+        op=spec.op,
+        n=spec.n,
         config=config.letters,
-        makespan_s=measurement.duration_s,
-        total_flops=result.total_flops,
-        energy_j=measurement.total_j,
-        device_energy_j={**measurement.cpu_j, **measurement.gpu_j},
-        gpu_task_fraction=result.gpu_task_fraction(),
-    )
+        scheduler=scheduler,
+        seed=seed,
+    ):
+        sim = Simulator()
+        node = build_platform(platform, sim, tracer)
+        if config.n_gpus != node.n_gpus:
+            raise ValueError(
+                f"config {config.letters} has {config.n_gpus} states for "
+                f"{node.n_gpus} GPUs on {platform}"
+            )
+        node.set_gpu_caps(config.watts(states))
+        if cpu_caps:
+            for pkg, watts in cpu_caps.items():
+                node.cpus[pkg].set_power_limit(watts)
+        runtime = RuntimeSystem(node, scheduler=scheduler, seed=seed, tracer=tracer)
+        graph = spec.build_graph()
+        meter = EnergyMeter(node)
+        meter.start()
+        result = runtime.run(graph, reset_energy=False)
+        measurement = meter.stop()
+        return ConfigMetrics(
+            config=config.letters,
+            makespan_s=measurement.duration_s,
+            total_flops=result.total_flops,
+            energy_j=measurement.total_j,
+            device_energy_j={**measurement.cpu_j, **measurement.gpu_j},
+            gpu_task_fraction=result.gpu_task_fraction(),
+        )
 
 
 def run_config_set(

@@ -21,6 +21,7 @@ modules can import it lazily without creating an import cycle
 from __future__ import annotations
 
 import os
+import sys
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Iterable, Optional, Sequence
 
@@ -30,14 +31,49 @@ def default_jobs() -> int:
     return max(1, os.cpu_count() or 1)
 
 
-def _invoke(payload: tuple[Callable[..., Any], tuple]) -> Any:
+def _invoke(payload: tuple) -> Any:
     """Pool-side trampoline: unpack ``(fn, args)`` and apply.
 
     Module-level so it pickles by reference; ``fn`` itself must therefore be
-    a module-level callable too (all experiment entry points are).
+    a module-level callable too (all experiment entry points are).  A
+    3-tuple ``(fn, args, ctx)`` carries a propagated trace context: the call
+    runs under a fresh child tracer whose spans ship back for re-parenting
+    (see :func:`repro.obs.spans.run_in_child`).
     """
+    if len(payload) == 3:
+        fn, args, ctx = payload
+        from repro.obs import spans as _spans
+
+        return _spans.run_in_child(fn, args, ctx)
     fn, args = payload
     return fn(*args)
+
+
+def _tracing() -> Any:
+    """The :mod:`repro.obs.spans` module iff a tracer is active, else None.
+
+    Looked up through ``sys.modules`` so this module keeps its no-repro-
+    imports guarantee: tracing can only be active if something else already
+    imported the spans module.
+    """
+    spans = sys.modules.get("repro.obs.spans")
+    if spans is not None and spans.ACTIVE is not None:
+        return spans
+    return None
+
+
+def _traced_payloads(spans: Any, payloads: list) -> list:
+    """Attach the coordinator's trace context to every pool payload."""
+    ctx = spans.ACTIVE.context()
+    return [(fn, args, ctx) for fn, args in payloads]
+
+
+def _collect(spans: Any, value: Any) -> Any:
+    """Coordinator-side unwrap: adopt child spans, return the real result."""
+    if isinstance(value, spans.ChildSpans):
+        spans.ACTIVE.adopt(value.spans)
+        return value.result
+    return value
 
 
 def parallel_starmap(
@@ -73,8 +109,13 @@ def parallel_starmap(
     if n_jobs <= 1 or len(calls) < 2:
         return [f(*args) for f, args in calls]
     n_jobs = min(n_jobs, len(calls))
+    spans = _tracing()
+    payloads = _traced_payloads(spans, calls) if spans is not None else calls
     with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-        return list(pool.map(_invoke, calls, chunksize=1))
+        results = list(pool.map(_invoke, payloads, chunksize=1))
+    if spans is not None:
+        results = [_collect(spans, value) for value in results]
+    return results
 
 
 def _cached_starmap(
@@ -101,8 +142,11 @@ def _cached_starmap(
             results[i] = f(*args)
         return results
     n_jobs = min(n_jobs, len(pending))
+    spans = _tracing()
+    payloads = [payload for _, payload in pending]
+    if spans is not None:
+        payloads = _traced_payloads(spans, payloads)
     with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-        payloads = [payload for _, payload in pending]
         for (i, _), value in zip(pending, pool.map(_invoke, payloads, chunksize=1)):
-            results[i] = value
+            results[i] = _collect(spans, value) if spans is not None else value
     return results

@@ -35,7 +35,7 @@ from repro.faults.nvml_guard import apply_caps_verified
 from repro.faults.plan import FaultPlan
 from repro.faults.recovery import RecoveryManager
 from repro.hardware.catalog import build_platform
-from repro.obs.capture import result_record
+from repro.obs.capture import attach_stream, result_record
 from repro.obs.decisions import DecisionLog
 from repro.obs.exporters import (
     CHAOS_FILENAME,
@@ -76,6 +76,9 @@ class ChaosRun:
     sampler: PowerSampler
     injector: FaultInjector
     recovery: RecoveryManager
+    #: Watchdog anomalies raised during a streamed faulted run (empty
+    #: otherwise).
+    anomalies: tuple = ()
 
     @property
     def passed(self) -> bool:
@@ -103,6 +106,7 @@ def run_chaos(
     power_period_s: float = 0.005,
     cap_retries: int = 3,
     cache=None,
+    stream: bool = False,
 ) -> ChaosRun:
     """Run ``spec`` under ``config`` with and without ``plan``'s faults.
 
@@ -111,7 +115,14 @@ def run_chaos(
     and its artefacts are never written), so repeated chaos studies of the
     same configuration skip the baseline simulation entirely; the faulted
     run — whose artefacts and audit are the point — always executes.
+
+    ``stream=True`` (requires ``outdir``) streams the *faulted* run's
+    telemetry — including fault injections and recovery actions — to
+    ``events.jsonl`` live, with online watchdogs attached; the fault-free
+    baseline stays unstreamed, it only anchors the degradation numbers.
     """
+    if stream and outdir is None:
+        raise ValueError("stream=True requires an outdir to stream into")
     n_platform_gpus = build_platform(platform, Simulator()).n_gpus
     if config.n_gpus != n_platform_gpus:
         raise ValueError(
@@ -195,22 +206,66 @@ def run_chaos(
     recovery = RecoveryManager(
         runtime, injector, metrics=registry, decisions=decisions,
     )
+    applied_cpu_caps: dict[str, float] = (
+        {f"cpu{pkg}": watts for pkg, watts in cpu_caps.items()}
+        if cpu_caps else {}
+    )
+    out: Optional[Path] = None
+    manifest: Optional[RunManifest] = None
+    if outdir is not None:
+        out = Path(outdir)
+        out.mkdir(parents=True, exist_ok=True)
+        manifest = RunManifest(
+            platform=platform,
+            scheduler=scheduler,
+            config=config.letters,
+            gpu_caps_w=tuple(config.watts(states)),
+            op=spec.op,
+            n=spec.n,
+            nb=spec.nb,
+            precision=spec.precision,
+            scale=scale,
+            seed=seed,
+            cpu_caps_w=applied_cpu_caps,
+            cache=cache.counts() if cache is not None else {},
+            version=code_version(),
+        )
+    stream_writer = None
+    watchdogs = None
+    if stream:
+        assert out is not None and manifest is not None
+        # Manifest before the run: a tail reader must be able to identify
+        # the run it is watching, and a killed run must still self-describe.
+        manifest.write(out)
+        bus, stream_writer, _aggregator, watchdogs = attach_stream(
+            out, sim, manifest
+        )
+        # Attach before arm(): cap-set faults fire inside the verified cap
+        # application below, and those injections belong in the stream too.
+        runtime.bus = bus
+        decisions.bus = bus
+        injector.bus = bus
+        recovery.bus = bus
     injector.arm()
     cap_reports = apply_caps_verified(
         node, config.watts(states), retries=cap_retries, strict=False
     )
-    applied_cpu_caps: dict[str, float] = {}
     if cpu_caps:
         for pkg, watts in cpu_caps.items():
             node.cpus[pkg].set_power_limit(watts)
-            applied_cpu_caps[f"cpu{pkg}"] = watts
     sampler = PowerSampler(node, runtime, period_s=power_period_s)
     sampler.blackouts.extend(resolved.dropout_windows())
+    if stream:
+        sampler.bus = runtime.bus
     sampler.start()
     meter = EnergyMeter(node)
     meter.start()
     graph = spec.build_graph()
-    faulted = runtime.run(graph, reset_energy=False)
+    try:
+        faulted = runtime.run(graph, reset_energy=False)
+    finally:
+        if stream_writer is not None:
+            stream_writer.close()
     fault_measure = meter.stop()
 
     # ---------------------------------------------------------------- audit
@@ -272,26 +327,10 @@ def run_chaos(
         "audit": audit,
     }
 
-    out: Optional[Path] = None
-    if outdir is not None:
-        out = Path(outdir)
-        out.mkdir(parents=True, exist_ok=True)
-        manifest = RunManifest(
-            platform=platform,
-            scheduler=scheduler,
-            config=config.letters,
-            gpu_caps_w=tuple(config.watts(states)),
-            op=spec.op,
-            n=spec.n,
-            nb=spec.nb,
-            precision=spec.precision,
-            scale=scale,
-            seed=seed,
-            cpu_caps_w=applied_cpu_caps,
-            cache=cache.counts() if cache is not None else {},
-            version=code_version(),
-        )
-        manifest.write(out)
+    if out is not None:
+        assert manifest is not None
+        if not stream:
+            manifest.write(out)
         (out / RESULT_FILENAME).write_text(json.dumps(result_record(
             faulted,
             extra={
@@ -306,20 +345,28 @@ def run_chaos(
             for rec in sorted(fault_events, key=lambda e: e["t"]):
                 fh.write(json.dumps(rec) + "\n")
         decisions.write_jsonl(str(out / DECISIONS_FILENAME))
-        write_events_jsonl(
-            str(out / EVENTS_FILENAME), tracer, decisions, sampler, fault_events
-        )
+        if not stream:
+            # Streamed runs wrote events.jsonl live; never clobber it with
+            # a post-hoc reconstruction.
+            write_events_jsonl(
+                str(out / EVENTS_FILENAME), tracer, decisions, sampler,
+                fault_events,
+            )
         write_enriched_chrome_trace(
             str(out / TRACE_FILENAME), tracer, sampler, decisions
         )
         if cache is not None:
             cache.publish_metrics(registry)
+        from repro.obs.stream import publish_run_info, run_info_from_manifest
+
+        publish_run_info(registry, run_info_from_manifest(manifest))
         (out / METRICS_FILENAME).write_text(registry.to_prometheus())
 
     return ChaosRun(
         outdir=out, plan=resolved, baseline=baseline, faulted=faulted,
         summary=summary, registry=registry, decisions=decisions,
         tracer=tracer, sampler=sampler, injector=injector, recovery=recovery,
+        anomalies=tuple(watchdogs.raised) if watchdogs is not None else (),
     )
 
 

@@ -14,9 +14,10 @@ containing them require a recovery manager to be bound before :meth:`arm`.
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.faults.plan import FaultPlan, FaultPlanError, FaultSpec
+from repro.obs import spans as _spans
 from repro.hardware.gpu import CapSetFailure, GPUDevice
 from repro.runtime.worker import WorkerType
 from repro.sim.engine import EventHandle
@@ -54,6 +55,9 @@ class FaultInjector:
         self.recovery: Optional["RecoveryManager"] = None
         #: Chronological fault-event records (merged into ``events.jsonl``).
         self.events: list[dict] = []
+        #: Optional live-telemetry bus; injections publish ``fault`` events
+        #: so watchdogs and `repro watch` see them as they land.
+        self.bus: Optional[Any] = None
         self.n_injected = 0
         self.armed = False
         self._handles: list[EventHandle] = []
@@ -211,6 +215,12 @@ class FaultInjector:
         )
         self.n_injected += 1
         self.tracer.point("faults", kind, now, f"{target}: {detail}")
+        if self.bus is not None:
+            self.bus.publish({
+                "t": now, "type": "fault",
+                "kind": kind, "target": target, "detail": detail,
+            })
+        _spans.event("fault.inject", kind=kind, target=target)
         if self.metrics is not None:
             self.metrics.counter(
                 "repro_faults_injected_total",

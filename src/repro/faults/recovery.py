@@ -35,8 +35,9 @@ never stretch the measured makespan.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
+from repro.obs import spans as _spans
 from repro.runtime.graph import Task, TaskGraph
 from repro.runtime.worker import WorkerType
 from repro.sim.engine import EventHandle
@@ -99,6 +100,9 @@ class RecoveryManager:
         self.probe_cap_s = probe_cap_s
         #: Chronological recovery-action records (merged into events.jsonl).
         self.events: list[dict] = []
+        #: Optional live-telemetry bus; recovery actions publish ``fault``
+        #: events (they share the fault feed in dashboards).
+        self.bus: Optional[Any] = None
         self.n_retries = 0
         self.n_requeued = 0
         self.n_parked = 0
@@ -336,6 +340,9 @@ class RecoveryManager:
         self.events.append(rec)
         label = ": ".join(x for x in (target or task, detail) if x)
         self.tracer.point("faults", kind, now, label)
+        if self.bus is not None:
+            self.bus.publish({"type": "fault", **rec})
+        _spans.event("fault.recover", kind=kind, target=target or task)
 
     def _annotate(self, text: str) -> None:
         if self.decisions is not None:

@@ -11,7 +11,20 @@ decision log, power sampler — and writes a self-describing run directory:
 ``events.jsonl``          merged time-ordered event stream
 ``trace.json``            Perfetto trace with power/backlog counter tracks
 ``metrics.prom``          Prometheus text snapshot of the metrics registry
+``spans.jsonl``           phase spans (only when a span tracer is active)
 ========================  ====================================================
+
+``stream=True`` switches ``events.jsonl`` from a post-hoc export to a live
+append-only stream: a :class:`~repro.obs.stream.TelemetryBus` carries every
+producer's events through a flushing writer *while the run executes*, with
+an online aggregator and watchdogs attached.  The manifest is written
+before the run starts so ``repro watch`` can label a run it is tailing —
+and so a killed run still identifies itself.  The simulated numbers are
+bit-identical either way.  The streamed ``events.jsonl`` differs from the
+post-hoc export in one deliberate way: ``decision`` events are sampled at
+the decision log's stream cadence (the full per-task records stay in
+``decisions.jsonl``), which is what keeps the attached overhead inside
+the gate enforced by ``check_regression.py``.
 
 ``repro report`` consumes such a directory; see :mod:`repro.obs.report`.
 """
@@ -19,7 +32,7 @@ decision log, power sampler — and writes a self-describing run directory:
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping, Optional
 
@@ -39,6 +52,15 @@ from repro.obs.exporters import (
 )
 from repro.obs.manifest import RunManifest, code_version
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.stream import (
+    OnlineAggregator,
+    StreamWriter,
+    TelemetryBus,
+    Watchdogs,
+    publish_run_info,
+    run_info_event,
+    run_info_from_manifest,
+)
 from repro.runtime import RuntimeSystem
 from repro.runtime.engine import RunResult
 from repro.sim import Simulator, Tracer
@@ -56,6 +78,10 @@ class TracedRun:
     decisions: DecisionLog
     tracer: Tracer
     sampler: PowerSampler
+    #: Streaming-mode extras (``None``/empty for post-hoc runs).
+    bus: Optional[TelemetryBus] = None
+    aggregator: Optional[OnlineAggregator] = None
+    anomalies: list = field(default_factory=list)
 
 
 def result_record(result: RunResult, extra: Optional[dict] = None) -> dict:
@@ -81,6 +107,32 @@ def result_record(result: RunResult, extra: Optional[dict] = None) -> dict:
     return rec
 
 
+def attach_stream(
+    outdir: Path,
+    sim: Simulator,
+    manifest: RunManifest,
+) -> tuple[TelemetryBus, StreamWriter, OnlineAggregator, Watchdogs]:
+    """Build the live-telemetry stack over ``outdir/events.jsonl``.
+
+    Subscriber order matters: the writer first (so the raw stream is the
+    ground truth even if an aggregator update ever failed), then the
+    aggregator, then the watchdogs that read it.  The returned bus already
+    carries the ``run_info`` header event.
+    """
+    # batch=64 bounds delivery latency while keeping subscriber fan-out in
+    # tight loops — the attached-overhead budget (see stream.TelemetryBus);
+    # FLUSH_NOW types (header, faults, anomalies) still deliver at once.
+    bus = TelemetryBus(clock=sim, batch=64)
+    writer = StreamWriter(str(outdir / EVENTS_FILENAME))
+    aggregator = OnlineAggregator()
+    watchdogs = Watchdogs(aggregator, bus)
+    bus.subscribe(writer)
+    bus.subscribe(aggregator)
+    bus.subscribe(watchdogs)
+    bus.publish(run_info_event(run_info_from_manifest(manifest), t=sim.now))
+    return bus, writer, aggregator, watchdogs
+
+
 def run_traced(
     platform: str,
     spec: OperationSpec,
@@ -92,9 +144,14 @@ def run_traced(
     cpu_caps: Optional[Mapping[int, float]] = None,
     scale: str = "custom",
     power_period_s: float = 0.005,
+    stream: bool = False,
 ) -> TracedRun:
     """Run one (platform, operation, cap config) with full observability and
-    dump the artefact directory."""
+    dump the artefact directory.
+
+    ``stream=True`` writes ``events.jsonl`` live through a telemetry bus
+    (crash-tolerant, watchable mid-run) instead of exporting it post-hoc.
+    """
     out = Path(outdir)
     out.mkdir(parents=True, exist_ok=True)
 
@@ -113,19 +170,6 @@ def run_traced(
             node.cpus[pkg].set_power_limit(watts)
             applied_cpu_caps[f"cpu{pkg}"] = watts
 
-    registry = MetricsRegistry(clock=sim)
-    decisions = DecisionLog()
-    runtime = RuntimeSystem(
-        node, scheduler=scheduler, seed=seed, tracer=tracer,
-        metrics=registry, decision_log=decisions,
-    )
-    sampler = PowerSampler(node, runtime, period_s=power_period_s)
-    sampler.start()
-    meter = EnergyMeter(node)
-    meter.start()
-    result = runtime.run(spec.build_graph(), reset_energy=False)
-    measurement = meter.stop()
-
     manifest = RunManifest(
         platform=platform,
         scheduler=scheduler,
@@ -140,7 +184,40 @@ def run_traced(
         cpu_caps_w=applied_cpu_caps,
         version=code_version(),
     )
-    manifest.write(out)
+
+    registry = MetricsRegistry(clock=sim)
+    decisions = DecisionLog()
+    runtime = RuntimeSystem(
+        node, scheduler=scheduler, seed=seed, tracer=tracer,
+        metrics=registry, decision_log=decisions,
+    )
+    sampler = PowerSampler(node, runtime, period_s=power_period_s)
+
+    bus: Optional[TelemetryBus] = None
+    writer: Optional[StreamWriter] = None
+    aggregator: Optional[OnlineAggregator] = None
+    watchdogs: Optional[Watchdogs] = None
+    if stream:
+        # Manifest first: a tail reader (or a post-mortem of a killed run)
+        # must be able to identify the run before any result exists.
+        manifest.write(out)
+        bus, writer, aggregator, watchdogs = attach_stream(out, sim, manifest)
+        runtime.bus = bus
+        decisions.bus = bus
+        sampler.bus = bus
+
+    sampler.start()
+    meter = EnergyMeter(node)
+    meter.start()
+    try:
+        result = runtime.run(spec.build_graph(), reset_energy=False)
+    finally:
+        if bus is not None:
+            bus.close()  # drain any batched tail, then flush the writer
+    measurement = meter.stop()
+
+    if not stream:
+        manifest.write(out)
     (out / RESULT_FILENAME).write_text(json.dumps(result_record(
         result,
         extra={
@@ -151,11 +228,17 @@ def run_traced(
         },
     ), indent=2) + "\n")
     decisions.write_jsonl(str(out / DECISIONS_FILENAME))
-    write_events_jsonl(str(out / EVENTS_FILENAME), tracer, decisions, sampler)
+    if not stream:
+        # Post-hoc export; in stream mode events.jsonl was written live and
+        # must never be clobbered by a reconstruction.
+        write_events_jsonl(str(out / EVENTS_FILENAME), tracer, decisions, sampler)
     write_enriched_chrome_trace(str(out / TRACE_FILENAME), tracer, sampler, decisions)
+    publish_run_info(registry, run_info_from_manifest(manifest))
     (out / METRICS_FILENAME).write_text(registry.to_prometheus())
 
     return TracedRun(
         outdir=out, result=result, manifest=manifest, registry=registry,
         decisions=decisions, tracer=tracer, sampler=sampler,
+        bus=bus, aggregator=aggregator,
+        anomalies=list(watchdogs.raised) if watchdogs is not None else [],
     )

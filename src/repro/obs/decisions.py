@@ -18,7 +18,7 @@ from __future__ import annotations
 import json
 import math
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Any, Iterable, Optional
 
 
 @dataclass(frozen=True)
@@ -152,19 +152,57 @@ class DecisionRecord:
 class DecisionLog:
     """Append-only sink for placement decisions."""
 
+    #: Minimum simulated seconds between streamed ``decision`` events.
+    #: The live stream carries a *sampled* backlog signal — dashboards and
+    #: the backlog-imbalance watchdog consume "latest backlog", so one
+    #: snapshot per sampling window is as informative as one per task,
+    #: while per-decision snapshots (a ~n_workers dict built and
+    #: serialized per task, ~19 µs measured) were the single largest
+    #: line in the streaming overhead budget.  Every decision is still
+    #: recorded in full post-hoc in ``decisions.jsonl``.  Matches the
+    #: watchdogs' evaluation cadence (``WatchdogConfig.eval_period_s``) —
+    #: the only cadenced consumer of the backlog track — so sampling
+    #: faster would add cost without adding information.
+    STREAM_PERIOD_S = 0.02
+
     def __init__(self) -> None:
         self.records: list[DecisionRecord] = []
         #: Free-form timestamped notes interleaved with the decisions —
         #: fault recovery marks worker exclusions, re-admissions and
         #: recalibrations here so an audit can explain placement shifts.
         self.annotations: list[dict] = []
+        #: Optional live-telemetry bus (:class:`repro.obs.stream.
+        #: TelemetryBus`).  Appends publish a *compact* ``decision`` event —
+        #: chosen worker, cost and the backlog snapshot — not the full
+        #: candidate record, which stays post-hoc in ``decisions.jsonl`` —
+        #: at most once per :data:`STREAM_PERIOD_S` of simulated time.
+        self.bus: Any = None
+        self.stream_period_s = self.STREAM_PERIOD_S
+        self._last_stream_t = -math.inf
 
     def append(self, record: DecisionRecord) -> None:
         self.records.append(record)
+        bus = self.bus
+        if bus is not None:
+            t = record.time
+            if t - self._last_stream_t < self.stream_period_s:
+                return
+            self._last_stream_t = t
+            bus.publish({
+                "t": t,
+                "type": "decision",
+                "label": record.label,
+                "kind": record.kind,
+                "chosen": record.chosen,
+                "cost": record.chosen_cost,
+                "backlog": record.backlog_snapshot(),
+            })
 
     def annotate(self, time: float, text: str, **data) -> None:
         """Attach a timestamped note (e.g. a fault-recovery action)."""
         self.annotations.append({"t": time, "text": text, **data})
+        if self.bus is not None:
+            self.bus.publish({"t": time, "type": "annotation", "text": text, **data})
 
     def __len__(self) -> int:
         return len(self.records)

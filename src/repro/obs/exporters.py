@@ -93,8 +93,30 @@ def write_events_jsonl(
 
 
 def read_events_jsonl(path: str) -> list[dict]:
+    events, _ = read_events_jsonl_tolerant(path)
+    return events
+
+
+def read_events_jsonl_tolerant(path: str) -> tuple[list[dict], int]:
+    """Read an event stream, skipping torn lines: ``(events, n_skipped)``.
+
+    The streaming writer makes mid-write files a *normal* state — a run
+    killed between flushes (or read while flushing) leaves a truncated
+    final line.  Any line that fails to parse is counted and skipped
+    instead of raising, so readers always see the valid prefix.
+    """
+    events: list[dict] = []
+    n_skipped = 0
     with open(path) as fh:
-        return [json.loads(line) for line in fh if line.strip()]
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                n_skipped += 1
+    return events, n_skipped
 
 
 def backlog_counter_tracks(decisions: DecisionLog) -> list[CounterTrack]:

@@ -26,10 +26,22 @@ def _label_key(labels: Optional[dict]) -> LabelItems:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape per the Prometheus text exposition format: inside quoted
+    label values, backslash, double-quote and newline must be escaped."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _label_str(items: LabelItems) -> str:
     if not items:
         return ""
-    return "{" + ",".join(f'{k}="{v}"' for k, v in items) + "}"
+    return (
+        "{"
+        + ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in items)
+        + "}"
+    )
 
 
 class Counter:
@@ -260,3 +272,26 @@ class MetricsRegistry:
         with open(path, "w") as fh:
             for rec in self.to_records():
                 fh.write(json.dumps(rec) + "\n")
+
+    def publish_to(self, bus) -> None:
+        """Publish one compact per-family summary event to a telemetry bus.
+
+        Meant for run-boundary flushes, not per-event streaming: counters
+        and gauges sum across label sets, histograms report count/sum.  The
+        live stream gets a low-cardinality health snapshot without paying
+        full-exposition cost mid-run.
+        """
+        families: dict[str, float] = {}
+        counts: dict[str, int] = {}
+        for (name, _), m in self._metrics.items():
+            if isinstance(m, Histogram):
+                counts[name] = counts.get(name, 0) + m.count
+                families[name] = families.get(name, 0.0) + m.sum
+            else:
+                families[name] = families.get(name, 0.0) + m.value
+        event: dict = {"type": "metrics", "families": families}
+        if counts:
+            event["counts"] = counts
+        if self.now is not None:
+            event["t"] = self.now
+        bus.publish(event)

@@ -15,7 +15,14 @@ prints the audit views the paper's claims hinge on:
   disagreements (zero means the log fully explains the schedule);
 - **fault section** — for chaos run directories (``repro chaos --outdir``),
   injected-fault and recovery-action counts, degradation vs the fault-free
-  baseline, the resilience audit verdict and the recovery annotations.
+  baseline, the resilience audit verdict and the recovery annotations;
+- **anomaly section** — watchdog anomalies found in a streamed
+  ``events.jsonl`` (see :mod:`repro.obs.stream`).
+
+Streamed run directories are first-class: a run that is still executing —
+or was killed mid-flight — has a manifest and a (possibly torn) event
+stream but no ``result.json`` yet.  The report renders what the stream
+proves happened instead of crashing, and counts any torn lines it skipped.
 """
 
 from __future__ import annotations
@@ -33,9 +40,10 @@ from repro.obs.exporters import (
     EVENTS_FILENAME,
     FAULTS_FILENAME,
     RESULT_FILENAME,
-    read_events_jsonl,
+    read_events_jsonl_tolerant,
 )
 from repro.obs.manifest import RunManifest
+from repro.obs.stream import OnlineAggregator
 
 #: Order of cap states from least to most capped.
 STATE_SEVERITY = {"H": 0, "B": 1, "L": 2}
@@ -54,11 +62,14 @@ class RunReport:
 
     rundir: Path
     manifest: RunManifest
-    result: dict
+    #: ``None`` for a partial (in-flight or killed) streamed run.
+    result: Optional[dict]
     decisions: Optional[DecisionLog] = None
     events: list[dict] = field(default_factory=list)
     faults: list[dict] = field(default_factory=list)
     chaos: Optional[dict] = None
+    #: Torn/truncated JSONL lines skipped while loading the event stream.
+    n_torn: int = 0
 
     # ------------------------------------------------------------- loading
 
@@ -66,20 +77,36 @@ class RunReport:
     def load(cls, rundir: str) -> "RunReport":
         path = Path(rundir)
         manifest = RunManifest.read(rundir)
-        result = json.loads((path / RESULT_FILENAME).read_text())
+        # A streamed run writes the manifest first and result.json last, so
+        # a missing result means the run is still executing or was killed.
+        result = None
+        if (path / RESULT_FILENAME).exists():
+            result = json.loads((path / RESULT_FILENAME).read_text())
         decisions = None
         if (path / DECISIONS_FILENAME).exists():
             decisions = DecisionLog.read_jsonl(str(path / DECISIONS_FILENAME))
         events: list[dict] = []
+        n_torn = 0
         if (path / EVENTS_FILENAME).exists():
-            events = read_events_jsonl(str(path / EVENTS_FILENAME))
+            events, n_torn = read_events_jsonl_tolerant(
+                str(path / EVENTS_FILENAME)
+            )
         faults: list[dict] = []
         if (path / FAULTS_FILENAME).exists():
-            faults = read_events_jsonl(str(path / FAULTS_FILENAME))
+            faults, skipped = read_events_jsonl_tolerant(
+                str(path / FAULTS_FILENAME)
+            )
+            n_torn += skipped
         chaos = None
         if (path / CHAOS_FILENAME).exists():
             chaos = json.loads((path / CHAOS_FILENAME).read_text())
-        return cls(path, manifest, result, decisions, events, faults, chaos)
+        return cls(path, manifest, result, decisions, events, faults, chaos,
+                   n_torn)
+
+    @property
+    def partial(self) -> bool:
+        """True when the run has not (yet) produced a ``result.json``."""
+        return self.result is None
 
     # ------------------------------------------------------------ analysis
 
@@ -207,7 +234,9 @@ class RunReport:
             "mismatched_labels": [r.label for r in mismatches[:10]],
             "mean_candidate_classes": mean_classes,
             "covers_all_tasks": (
-                len({r.tid for r in self.decisions}) == self.result["n_tasks"]
+                self.result is not None
+                and len({r.tid for r in self.decisions})
+                == self.result["n_tasks"]
             ),
             "by_worker": self.decisions.by_worker(),
         }
@@ -230,6 +259,23 @@ class RunReport:
             bucket[kind] = bucket.get(kind, 0) + 1
         return {"injected": injected, "actions": actions}
 
+    def anomalies(self) -> list[dict]:
+        """Watchdog anomaly events found in the loaded stream, time-ordered."""
+        found = [e for e in self.events if e.get("type") == "anomaly"]
+        found.sort(key=lambda e: e.get("t", 0.0))
+        return found
+
+    def stream_summary(self) -> dict:
+        """Replay the loaded events through the online aggregator.
+
+        This is how a partial run is summarized: the aggregator sees exactly
+        what a live ``repro watch`` would have seen, so the numbers agree.
+        """
+        agg = OnlineAggregator()
+        for event in self.events:
+            agg(event)
+        return agg.snapshot()
+
     # ----------------------------------------------------------- rendering
 
     def header(self) -> str:
@@ -243,14 +289,24 @@ class RunReport:
             f"platform {m.platform}  op {m.op}-{m.precision} N={m.n} NB={m.nb}"
             f"  scheduler {m.scheduler}  seed {m.seed}  scale {m.scale}",
             f"config {m.config}  ({caps})  version {m.version or 'unknown'}",
-            f"makespan {self.result['makespan_s']:.4f}s"
-            f"  {self.result['gflops']:.1f} Gflop/s"
-            f"  {self.result['total_energy_j']:.1f} J"
-            f"  {self.result['gflops_per_watt']:.2f} Gflop/s/W",
         ]
+        if self.result is not None:
+            lines.append(
+                f"makespan {self.result['makespan_s']:.4f}s"
+                f"  {self.result['gflops']:.1f} Gflop/s"
+                f"  {self.result['total_energy_j']:.1f} J"
+                f"  {self.result['gflops_per_watt']:.2f} Gflop/s/W"
+            )
+        else:
+            lines.append(
+                "[stream] partial run — no result.json "
+                "(run still active or killed)"
+            )
         return "\n".join(lines) + "\n"
 
     def render(self, max_gaps: int = 8) -> str:
+        if self.partial:
+            return self._render_partial(max_gaps=max_gaps)
         parts = [self.header(), "\n"]
         parts.append(format_table(
             ["device", "energy_J", "share_pct"],
@@ -306,7 +362,78 @@ class RunReport:
             )
         if self.faults or self.chaos is not None:
             parts.append(self._render_faults())
+        parts.append(self._render_anomalies())
+        parts.append(self._torn_warning())
         return "".join(parts)
+
+    def _render_partial(self, max_gaps: int = 8) -> str:
+        """Report for a run directory with no result.json yet: everything
+        the streamed prefix of ``events.jsonl`` proves happened."""
+        parts = [self.header(), "\n"]
+        snap = self.stream_summary()
+        expected = snap["n_tasks_expected"]
+        progress = f"{snap['tasks_done']}"
+        if expected:
+            progress += f"/{expected} ({100.0 * snap['tasks_done'] / expected:.0f}%)"
+        parts.append(
+            f"[stream] {snap['n_events']} events read"
+            f"  sim clock {snap['t']:.4f}s\n"
+            f"[stream] tasks completed: {progress}"
+            f"  p50 {snap['task_p50_s'] * 1e3:.2f}ms"
+            f"  p99 {snap['task_p99_s'] * 1e3:.2f}ms\n"
+        )
+        if snap["power_w"]:
+            devices = "  ".join(
+                f"{dev}={w:.0f}W" for dev, w in sorted(snap["power_w"].items())
+            )
+            parts.append(
+                f"[stream] last power sample: total {snap['total_power_w']:.0f}W"
+                f"  ({devices})\n"
+            )
+        if snap["cache_lookups"]:
+            rate = snap["cache_hit_rate"]
+            parts.append(
+                f"[stream] cache: {snap['cache_lookups']} lookups, "
+                f"hit rate {rate:.0%} (rolling window)\n"
+            )
+        if snap["n_faults"]:
+            parts.append(f"[stream] faults observed: {snap['n_faults']}\n")
+        parts.append("\n")
+        gaps = self.idle_gaps()
+        if gaps:
+            parts.append(format_table(
+                ["worker", "gap_start_s", "gap_s"],
+                [(g.worker, round(g.start, 4), round(g.duration, 4))
+                 for g in gaps[:max_gaps]],
+                title=f"[idle] {len(gaps)} idle gaps above threshold"
+                      f" (top {min(max_gaps, len(gaps))})",
+            ))
+        parts.append(self._render_anomalies())
+        parts.append(self._torn_warning())
+        return "".join(parts)
+
+    def _render_anomalies(self, limit: int = 12) -> str:
+        """The ``[anomalies]`` feed: watchdog events from the stream."""
+        found = self.anomalies()
+        if not found:
+            return ""
+        parts = [f"[anomalies] {len(found)} watchdog anomalies\n"]
+        for event in found[:limit]:
+            parts.append(
+                f"  {event.get('t', 0.0):.4f}s  {event.get('rule', '?')}"
+                f"  {event.get('target', '?')}: {event.get('detail', '')}\n"
+            )
+        if len(found) > limit:
+            parts.append(f"  ... and {len(found) - limit} more\n")
+        return "".join(parts)
+
+    def _torn_warning(self) -> str:
+        if not self.n_torn:
+            return ""
+        return (
+            f"[stream] skipped {self.n_torn} torn line(s) "
+            "(truncated mid-write; expected for killed or in-flight runs)\n"
+        )
 
     def _render_faults(self) -> str:
         """The ``[faults]`` section for chaos run directories."""

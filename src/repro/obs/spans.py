@@ -1,0 +1,293 @@
+"""Span-based tracing: phase-level causality across processes.
+
+A :class:`SpanTracer` records *spans* — named phases with a trace ID, a span
+ID, a parent link, and **two** timestamp pairs: wall-clock seconds (what the
+operator experiences) and simulated seconds (what the run experienced, when
+a clock is bound).  Spans nest through an explicit stack, so the experiment
+driver, the runtime phases, cache lookups and fault/recovery actions all
+hang off one tree that explains where an experiment's wall time went.
+
+The API mirrors the rest of :mod:`repro.obs`: **opt-in and zero-cost when
+detached**.  The module-level :data:`ACTIVE` tracer is ``None`` by default;
+the free functions :func:`span` and :func:`event` are a single global load
+plus a ``None`` check in that state, so instrumented code never pays for
+tracing it did not ask for.
+
+Cross-process propagation (``parallel_starmap`` pool workers) works by
+value:  the coordinator captures :meth:`SpanTracer.context` — the trace ID
+plus the currently open span — and ships it with each submitted call.  The
+pool-side trampoline calls :func:`run_in_child`, which activates a fresh
+tracer whose top-level spans parent onto the coordinator's submitting span,
+and returns the child's closed spans alongside the result so the
+coordinator can :meth:`~SpanTracer.adopt` them into one merged trace.
+
+Span records are excluded from the bit-identity bar (like manifests): they
+carry wall-clock timestamps and process IDs by design.  Nothing here may
+import outside the stdlib — the runtime engine imports this module.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+SPANS_FILENAME = "spans.jsonl"
+
+#: Process-wide span-ID counter; combined with the PID it keeps IDs unique
+#: across every tracer a (possibly forked) process ever activates.
+_id_counter = 0
+
+
+def _next_span_id() -> str:
+    global _id_counter
+    _id_counter += 1
+    return f"{os.getpid():x}-{_id_counter:x}"
+
+
+def _new_trace_id() -> str:
+    return f"{os.getpid():x}-{time.time_ns():x}"
+
+
+class _SpanHandle:
+    """Context manager for one open span (cheap: two slots, no generator)."""
+
+    __slots__ = ("_tracer", "rec")
+
+    def __init__(self, tracer: "SpanTracer", rec: dict) -> None:
+        self._tracer = tracer
+        self.rec = rec
+
+    def __enter__(self) -> dict:
+        return self.rec
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.rec["attrs"]["error"] = exc_type.__name__
+        self._tracer._close(self.rec)
+        return False
+
+
+class _NullHandle:
+    """The detached fast path: ``with span(...)`` costs two no-op calls."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_HANDLE = _NullHandle()
+
+
+class SpanTracer:
+    """Collects spans for one trace, in one process.
+
+    ``clock`` is anything with a ``now`` attribute (the Simulator); when
+    bound, spans carry simulated timestamps next to the wall-clock pair.
+    ``root_parent`` is the parent span ID for this tracer's *top-level*
+    spans — set by :func:`run_in_child` so pool-worker spans re-parent onto
+    the coordinator's submitting span.
+    """
+
+    def __init__(
+        self,
+        trace_id: Optional[str] = None,
+        root_parent: Optional[str] = None,
+        clock: Any = None,
+    ) -> None:
+        self.trace_id = trace_id if trace_id is not None else _new_trace_id()
+        self.root_parent = root_parent
+        self.clock = clock
+        #: Closed spans, in close order (children close before parents).
+        self.spans: list[dict] = []
+        self._stack: list[str] = []
+
+    # ------------------------------------------------------------ recording
+
+    def _open(self, name: str, attrs: dict) -> dict:
+        clock = self.clock
+        rec = {
+            "trace_id": self.trace_id,
+            "span_id": _next_span_id(),
+            "parent_id": self._stack[-1] if self._stack else self.root_parent,
+            "name": name,
+            "pid": os.getpid(),
+            "wall_start": time.time(),
+            "wall_end": None,
+            "sim_start": clock.now if clock is not None else None,
+            "sim_end": None,
+            "attrs": attrs,
+        }
+        self._stack.append(rec["span_id"])
+        return rec
+
+    def _close(self, rec: dict) -> None:
+        rec["wall_end"] = time.time()
+        clock = self.clock
+        if clock is not None:
+            rec["sim_end"] = clock.now
+        if self._stack and self._stack[-1] == rec["span_id"]:
+            self._stack.pop()
+        else:  # pragma: no cover - misnested close; drop without corrupting
+            try:
+                self._stack.remove(rec["span_id"])
+            except ValueError:
+                pass
+        self.spans.append(rec)
+
+    def span(self, name: str, **attrs: Any) -> _SpanHandle:
+        """Open a span; close it by exiting the returned context manager."""
+        return _SpanHandle(self, self._open(name, attrs))
+
+    def event(self, name: str, **attrs: Any) -> dict:
+        """A zero-duration span (an instant: a fault fired, a cache hit)."""
+        rec = self._open(name, attrs)
+        self._close(rec)
+        return rec
+
+    # ---------------------------------------------------------- propagation
+
+    def context(self) -> dict:
+        """The value shipped to pool workers: trace ID + the open span."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self._stack[-1] if self._stack else self.root_parent,
+        }
+
+    def adopt(self, spans: list[dict]) -> None:
+        """Merge spans closed by another tracer (a pool worker's) into this
+        trace.  Their parent links already point into this trace via the
+        shipped :meth:`context`, so adoption is a plain append."""
+        self.spans.extend(spans)
+
+    # -------------------------------------------------------------- export
+
+    def to_records(self) -> list[dict]:
+        return list(self.spans)
+
+    def write_jsonl(self, path: str) -> int:
+        with open(path, "w") as fh:
+            for rec in self.spans:
+                fh.write(json.dumps(rec) + "\n")
+        return len(self.spans)
+
+
+def read_spans_jsonl(path: str) -> list[dict]:
+    with open(path) as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+def validate_trace(spans: list[dict]) -> list[str]:
+    """Structural problems in a merged trace (empty list = valid).
+
+    Checks the acceptance bar for cross-process propagation: one trace ID,
+    and every parent link resolving to a span in the same list (top-level
+    spans — ``parent_id`` ``None`` — are exempt).
+    """
+    problems: list[str] = []
+    if not spans:
+        return problems
+    ids = {s["span_id"] for s in spans}
+    if len(ids) != len(spans):
+        problems.append("duplicate span IDs")
+    traces = {s["trace_id"] for s in spans}
+    if len(traces) > 1:
+        problems.append(f"multiple trace IDs: {sorted(traces)}")
+    for s in spans:
+        parent = s.get("parent_id")
+        if parent is not None and parent not in ids:
+            problems.append(
+                f"span {s['span_id']} ({s['name']}) has unknown parent {parent}"
+            )
+        if s.get("wall_end") is None:
+            problems.append(f"span {s['span_id']} ({s['name']}) never closed")
+    return problems
+
+
+# ------------------------------------------------------------- module state
+
+#: The process-wide active tracer; ``None`` keeps every hook a no-op.
+ACTIVE: Optional[SpanTracer] = None
+
+
+def activate(tracer: SpanTracer) -> SpanTracer:
+    global ACTIVE
+    ACTIVE = tracer
+    return tracer
+
+
+def deactivate() -> Optional[SpanTracer]:
+    global ACTIVE
+    tracer, ACTIVE = ACTIVE, None
+    return tracer
+
+
+def span(name: str, **attrs: Any):
+    """``with span("phase", key=...):`` — no-op unless a tracer is active."""
+    tracer = ACTIVE
+    if tracer is None:
+        return _NULL_HANDLE
+    return tracer.span(name, **attrs)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Record an instant span on the active tracer, if any."""
+    tracer = ACTIVE
+    if tracer is not None:
+        tracer.event(name, **attrs)
+
+
+def current_context() -> Optional[dict]:
+    """The active tracer's propagation context, or ``None`` when detached."""
+    tracer = ACTIVE
+    return None if tracer is None else tracer.context()
+
+
+# ------------------------------------------------------ pool-worker support
+
+
+@dataclass
+class ChildSpans:
+    """Pool-side return envelope: the call's result plus the child spans.
+
+    ``parallel_starmap`` unwraps this in the coordinator and adopts the
+    spans into the active trace; the class is module-level so it pickles by
+    reference.
+    """
+
+    result: Any
+    spans: list = field(default_factory=list)
+
+
+def run_in_child(fn: Callable[..., Any], args: tuple, ctx: dict) -> ChildSpans:
+    """Execute ``fn(*args)`` in a pool worker under a propagated trace.
+
+    Activates a fresh tracer continuing ``ctx``'s trace, wraps the call in a
+    ``pool:<fn>`` span parented on the coordinator's submitting span, and
+    returns both the result and the closed spans for adoption.  The worker's
+    ``ACTIVE`` is always reset to ``None`` afterwards — a forked worker
+    inherits the coordinator's tracer object, whose spans would otherwise be
+    recorded twice.
+    """
+    tracer = SpanTracer(trace_id=ctx["trace_id"], root_parent=ctx.get("span_id"))
+    activate(tracer)
+    try:
+        with tracer.span(f"pool:{getattr(fn, '__name__', 'call')}"):
+            result = fn(*args)
+    finally:
+        deactivate()
+    return ChildSpans(result=result, spans=tracer.spans)
+
+
+def iter_roots(spans: list[dict]) -> Iterator[dict]:
+    """Spans with no parent inside the list (the trace's entry points)."""
+    ids = {s["span_id"] for s in spans}
+    for s in spans:
+        if s.get("parent_id") not in ids:
+            yield s

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.hardware.node import Node
+from repro.obs import spans as _spans
 from repro.obs.decisions import DecisionLog
 from repro.obs.metrics import MetricsRegistry
 from repro.runtime.data import DataManager
@@ -144,6 +145,9 @@ class RuntimeSystem:
         # Fault recovery (off by default: None keeps hot paths clean; a
         # RecoveryManager binds itself here — see repro.faults.recovery).
         self.faults = None
+        # Live telemetry (off by default: None keeps hot paths clean; attach
+        # a repro.obs.stream.TelemetryBus to stream events during the run).
+        self.bus = None
         self._ready_at: dict[int, float] = {}
         self._scheduler = None
         self._graph: Optional[TaskGraph] = None
@@ -158,20 +162,21 @@ class RuntimeSystem:
         Calibration runs happen offline in StarPU (dedicated runs after each
         power-cap change); they consume no simulated time here.
         """
-        rng = self.rng.stream("calibration")
-        seen_arch: dict[str, WorkerType] = {}
-        for w in self.workers:
-            seen_arch.setdefault(w.arch, w)
-        distinct = {model_key(t.op): t.op for t in graph.tasks}
-        for op in distinct.values():
-            for arch, w in seen_arch.items():
-                if not w.can_run(op):
-                    continue
-                truth = ground_truth_duration(w, op)
-                for _ in range(self.calibration_samples):
-                    noisy = truth * float(rng.lognormal(0.0, self.calib_noise))
-                    self.perf.record(op, arch, noisy)
-        self.perf.enable_regression()
+        with _spans.span("runtime.calibrate", samples=self.calibration_samples):
+            rng = self.rng.stream("calibration")
+            seen_arch: dict[str, WorkerType] = {}
+            for w in self.workers:
+                seen_arch.setdefault(w.arch, w)
+            distinct = {model_key(t.op): t.op for t in graph.tasks}
+            for op in distinct.values():
+                for arch, w in seen_arch.items():
+                    if not w.can_run(op):
+                        continue
+                    truth = ground_truth_duration(w, op)
+                    for _ in range(self.calibration_samples):
+                        noisy = truth * float(rng.lognormal(0.0, self.calib_noise))
+                        self.perf.record(op, arch, noisy)
+            self.perf.enable_regression()
 
     # -------------------------------------------------------------- execution
 
@@ -194,6 +199,46 @@ class RuntimeSystem:
         ``flush_results`` writes dirty tiles back to the host after the last
         task, as Chameleon does when handing the matrix back to the user.
         """
+        bus = self.bus
+        if bus is None and _spans.ACTIVE is None:
+            return self._run(
+                graph, calibrate, reset_energy, flush_results, update_models
+            )
+        with _spans.span(
+            "runtime.run",
+            scheduler=self.scheduler_name,
+            n_tasks=len(graph.tasks),
+        ):
+            if bus is not None:
+                bus.publish({
+                    "t": self.sim.now,
+                    "type": "run_start",
+                    "scheduler": self.scheduler_name,
+                    "n_tasks": len(graph.tasks),
+                    "n_workers": len(self.workers),
+                    "gpu_caps": self.node.gpu_caps(),
+                })
+            result = self._run(
+                graph, calibrate, reset_energy, flush_results, update_models
+            )
+            if bus is not None:
+                bus.publish({
+                    "t": self.sim.now,
+                    "type": "run_end",
+                    "makespan": result.makespan_s,
+                    "n_tasks": result.n_tasks,
+                    "energy_j": result.total_energy_j,
+                })
+            return result
+
+    def _run(
+        self,
+        graph: TaskGraph,
+        calibrate: bool = True,
+        reset_energy: bool = True,
+        flush_results: bool = True,
+        update_models: bool = True,
+    ) -> RunResult:
         graph.validate()
         if self._remaining:
             raise RuntimeError_("a run is already in progress")
@@ -435,6 +480,8 @@ class RuntimeSystem:
         for i, cap in enumerate(result.gpu_caps_w):
             m.gauge("repro_gpu_cap_watts", "Applied GPU power cap.",
                     labels={"gpu": f"gpu{i}"}).set(cap)
+        if self.bus is not None:
+            m.publish_to(self.bus)
 
     def _try_start(self, worker: WorkerType) -> None:
         task = self._scheduler.pop(worker, self.sim.now)
@@ -548,6 +595,16 @@ class RuntimeSystem:
                 "Tasks completed, by executing worker.",
                 labels={"worker": worker.name},
             ).inc()
+        bus = self.bus
+        if bus is not None:
+            # Streams the same interval shape the post-hoc exporter emits
+            # for tracer intervals (stream consumers and `repro report`
+            # share one reader path), via the bus's typed fast lane — a
+            # per-task dict build alone would eat most of the attached
+            # overhead budget.
+            bus.publish_interval(
+                task.start_time, worker.name, now, task.label, task.op.kind
+            )
         scheduler = self._scheduler
         scheduler.task_finished(task, worker, now)
         self._remaining -= 1

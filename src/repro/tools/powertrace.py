@@ -40,6 +40,9 @@ class PowerSampler:
     #: schedule afterwards; dropped ticks are counted in ``n_dropped``.
     blackouts: list[tuple[float, float]] = field(default_factory=list)
     n_dropped: int = 0
+    #: Optional live-telemetry bus; each non-blackout sample also publishes
+    #: a ``power`` event so dashboards see the timeline during the run.
+    bus: Optional[object] = None
 
     def start(self) -> None:
         nvml.nvmlInit(self.node)
@@ -61,7 +64,12 @@ class PowerSampler:
             for i in range(len(self.node.gpus)):
                 handle = nvml.nvmlDeviceGetHandleByIndex(i)
                 reading[f"gpu{i}"] = nvml.nvmlDeviceGetPowerUsage(handle) / 1000.0
-            self.samples.append(PowerSample(now, reading))
+            sample = PowerSample(now, reading)
+            self.samples.append(sample)
+            if self.bus is not None:
+                self.bus.publish(
+                    {"t": now, "type": "power", "total_w": sample.total_w, **reading}
+                )
         if self.runtime.pending_tasks > 0:
             self.runtime.sim.schedule(self.period_s, self._tick)
 

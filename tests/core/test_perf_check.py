@@ -27,6 +27,7 @@ BASELINE = {
     "fig3_small_wall_s": 8.0,
     "fig3_small_warm_wall_s": 0.01,
     "fig3_warm_hit_rate": 1.0,
+    "obs_attached_ratio": 0.9,
 }
 
 #: A pre-refactor capture the test BASELINE beats by exactly the margins
@@ -40,7 +41,8 @@ PRE_REFACTOR = {
 
 
 def current(tasks, sim=500000.0, evals=4.0, cold=8.0, warm=0.01,
-            hit_rate=1.0, rows_identical=True):
+            hit_rate=1.0, rows_identical=True, obs_ratio=0.9,
+            obs_identical=True):
     return {
         "runtime_tasks_per_sec": tasks,
         "sim_events_per_sec": sim,
@@ -49,6 +51,8 @@ def current(tasks, sim=500000.0, evals=4.0, cold=8.0, warm=0.01,
         "fig3_small_warm_wall_s": warm,
         "fig3_warm_hit_rate": hit_rate,
         "fig3_warm_rows_identical": rows_identical,
+        "obs_attached_ratio": obs_ratio,
+        "obs_results_identical": obs_identical,
     }
 
 
@@ -193,6 +197,29 @@ def test_partial_hit_rate_fails(mod):
 def test_warm_rows_mismatch_fails(mod):
     failures = mod.check(current(9700.0, rows_identical=False), BASELINE)
     assert failures and "rows differ" in failures[0]
+
+
+def test_obs_overhead_above_ceiling_fails(mod):
+    failures = mod.check(current(9700.0, obs_ratio=1.06), BASELINE)
+    assert failures and "live-telemetry overhead" in failures[0]
+
+
+def test_obs_overhead_at_ceiling_passes(mod):
+    # The ceiling is absolute (same-machine pair ratio), not baseline-relative:
+    # a ratio worse than the committed baseline but under 1.05x still passes.
+    assert mod.check(current(9700.0, obs_ratio=1.05), BASELINE) == []
+
+
+def test_obs_result_mismatch_fails(mod):
+    failures = mod.check(current(9700.0, obs_identical=False), BASELINE)
+    assert failures and "perturbing" in failures[0]
+
+
+def test_missing_obs_ratio_is_malformed(mod):
+    broken = current(9700.0)
+    del broken["obs_attached_ratio"]
+    with pytest.raises(mod.MalformedInput, match="obs_attached_ratio"):
+        mod.check(broken, BASELINE)
 
 
 def test_zero_warm_wall_is_malformed_not_zerodivision(mod):

@@ -149,3 +149,60 @@ def test_records_and_jsonl_round_trip(tmp_path):
     assert by_name["c"]["value"] == 2 and by_name["c"]["labels"] == {"k": "v"}
     assert by_name["g"]["series"] == [[0.5, 1.0]]
     assert by_name["h"]["counts"] == [1, 0] and by_name["h"]["count"] == 1
+
+
+def test_prometheus_label_values_escaped():
+    reg = MetricsRegistry()
+    reg.counter(
+        "repro_esc", "Escaping.",
+        labels={"path": 'a\\b', "msg": 'say "hi"\nbye'},
+    ).inc()
+    text = reg.to_prometheus()
+    # Prometheus text format: backslash, double-quote and newline must be
+    # escaped inside label values — the raw characters would corrupt the line.
+    assert 'path="a\\\\b"' in text
+    assert 'msg="say \\"hi\\"\\nbye"' in text
+    assert "\nbye" not in text.replace("\\nbye", "")
+
+
+def test_registry_publish_to_bus():
+    from repro.obs.stream import TelemetryBus
+
+    clock = FakeClock()
+    clock.now = 2.0
+    reg = MetricsRegistry(clock=clock)
+    reg.counter("repro_tasks_total", labels={"worker": "gpu-w0"}).inc(3)
+    reg.counter("repro_tasks_total", labels={"worker": "gpu-w1"}).inc(1)
+    reg.gauge("repro_makespan_seconds").set(1.25)
+    reg.histogram("repro_wait", buckets=(1.0,)).observe(0.5)
+    bus = TelemetryBus(clock=clock)
+    seen = []
+    bus.subscribe(seen.append)
+    reg.publish_to(bus)
+    assert len(seen) == 1
+    ev = seen[0]
+    assert ev["type"] == "metrics" and ev["t"] == 2.0
+    # Families sum across label sets; histograms report their sum.
+    assert ev["families"]["repro_tasks_total"] == 4
+    assert ev["families"]["repro_makespan_seconds"] == 1.25
+    assert ev["families"]["repro_wait"] == 0.5
+    # counts carries histogram observation counts only.
+    assert ev["counts"] == {"repro_wait": 1}
+
+
+def test_run_info_gauge_in_exposition():
+    from repro.obs.stream import publish_run_info
+
+    reg = MetricsRegistry()
+    publish_run_info(reg, {
+        "version": "abc123", "platform": "24-Intel-2-V100",
+        "scheduler": "dmdas", "config": "HL", "op": "gemm",
+        "seed": "0", "cache_fingerprint": "none",
+    })
+    text = reg.to_prometheus()
+    assert "# TYPE repro_run_info gauge" in text
+    line = next(l for l in text.splitlines() if l.startswith("repro_run_info{"))
+    assert 'version="abc123"' in line
+    assert 'scheduler="dmdas"' in line
+    assert 'cache_fingerprint="none"' in line
+    assert line.endswith(" 1.0") or line.endswith(" 1")

@@ -1,0 +1,170 @@
+"""Span tracing: nesting, cross-process propagation, merged-trace validity."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.tradeoff import run_config_set
+from repro.experiments.platforms import cap_states, config_list, operation_spec
+from repro.obs import spans as spans_mod
+from repro.obs.spans import (
+    ChildSpans,
+    SpanTracer,
+    iter_roots,
+    read_spans_jsonl,
+    run_in_child,
+    validate_trace,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    yield
+    spans_mod.deactivate()
+
+
+def test_nesting_sets_parent_links():
+    tr = SpanTracer()
+    with tr.span("outer", phase="a"):
+        with tr.span("inner"):
+            pass
+    inner, outer = tr.spans
+    assert inner["name"] == "inner" and outer["name"] == "outer"
+    assert inner["parent_id"] == outer["span_id"]
+    assert outer["parent_id"] is None
+    assert inner["trace_id"] == outer["trace_id"] == tr.trace_id
+    assert outer["attrs"] == {"phase": "a"}
+    assert validate_trace(tr.spans) == []
+
+
+def test_exception_closes_span_with_error_attr():
+    tr = SpanTracer()
+    with pytest.raises(ValueError):
+        with tr.span("doomed"):
+            raise ValueError("nope")
+    (rec,) = tr.spans
+    assert rec["attrs"]["error"] == "ValueError"
+    assert rec["wall_end"] is not None
+
+
+def test_sim_timestamps_come_from_clock():
+    clock = FakeClock()
+    tr = SpanTracer(clock=clock)
+    clock.now = 1.5
+    with tr.span("phase"):
+        clock.now = 2.5
+    (rec,) = tr.spans
+    assert rec["sim_start"] == 1.5 and rec["sim_end"] == 2.5
+
+
+def test_detached_free_functions_are_noops():
+    assert spans_mod.ACTIVE is None
+    with spans_mod.span("anything", k=1) as rec:
+        assert rec is None
+    assert spans_mod.event("instant") is None
+    assert spans_mod.current_context() is None
+
+
+def test_active_free_functions_record():
+    tr = spans_mod.activate(SpanTracer())
+    with spans_mod.span("outer"):
+        spans_mod.event("tick", n=3)
+        ctx = spans_mod.current_context()
+        assert ctx["trace_id"] == tr.trace_id
+        assert ctx["span_id"] == tr._stack[-1]
+    assert [s["name"] for s in tr.spans] == ["tick", "outer"]
+
+
+def test_write_read_round_trip(tmp_path):
+    tr = SpanTracer()
+    with tr.span("a"):
+        tr.event("b")
+    path = tmp_path / "spans.jsonl"
+    assert tr.write_jsonl(str(path)) == 2
+    back = read_spans_jsonl(str(path))
+    assert back == tr.spans
+    assert validate_trace(back) == []
+
+
+def test_validate_trace_flags_problems():
+    tr = SpanTracer()
+    with tr.span("a"):
+        pass
+    broken = [dict(tr.spans[0], parent_id="nonexistent")]
+    assert any("unknown parent" in p for p in validate_trace(broken))
+    dupes = [tr.spans[0], dict(tr.spans[0])]
+    assert any("duplicate" in p for p in validate_trace(dupes))
+    assert validate_trace([]) == []
+
+
+def _child_work(x):
+    with spans_mod.span("child-phase", x=x):
+        spans_mod.event("child-tick")
+    return x * 2
+
+
+def test_run_in_child_reparents_and_resets_active():
+    coordinator = spans_mod.activate(SpanTracer())
+    with coordinator.span("submit"):
+        ctx = coordinator.context()
+    out = run_in_child(_child_work, (21,), ctx)
+    assert isinstance(out, ChildSpans)
+    assert out.result == 42
+    # The worker always clears ACTIVE afterwards — a forked worker inherits
+    # the coordinator's tracer object, which would double-record spans.
+    assert spans_mod.ACTIVE is None
+    coordinator.adopt(out.spans)
+    merged = coordinator.spans
+    assert validate_trace(merged) == []
+    assert {s["trace_id"] for s in merged} == {coordinator.trace_id}
+    pool_span = next(s for s in merged if s["name"].startswith("pool:"))
+    assert pool_span["parent_id"] == ctx["span_id"]
+
+
+_PLATFORM = "24-Intel-2-V100"
+
+
+def _fixture():
+    spec = operation_spec(_PLATFORM, "potrf", "double", "tiny")
+    states = cap_states(_PLATFORM, "potrf", "double", "tiny")
+    return spec, states, config_list(_PLATFORM)
+
+
+def test_parallel_run_yields_single_merged_trace():
+    """The acceptance bar: a pooled experiment under an active tracer
+    produces one trace whose every child-process span has a valid parent."""
+    spec, states, configs = _fixture()
+    tr = spans_mod.activate(SpanTracer())
+    with spans_mod.span("experiment", label="config-set"):
+        run_config_set(_PLATFORM, spec, configs, states, jobs=4)
+    spans_mod.deactivate()
+    spans = tr.spans
+    assert validate_trace(spans) == []
+    assert {s["trace_id"] for s in spans} == {tr.trace_id}
+    # Work actually crossed process boundaries and was re-parented here.
+    child_pids = {s["pid"] for s in spans} - {os.getpid()}
+    assert child_pids, "expected spans recorded in pool workers"
+    ids = {s["span_id"] for s in spans}
+    for s in spans:
+        if s["pid"] != os.getpid():
+            assert s["parent_id"] in ids
+    # Exactly one root: the experiment span itself.
+    roots = list(iter_roots(spans))
+    assert [r["name"] for r in roots] == ["experiment"]
+
+
+def test_results_identical_with_and_without_tracing():
+    spec, states, configs = _fixture()
+    plain = run_config_set(_PLATFORM, spec, configs, states, jobs=1)
+    spans_mod.activate(SpanTracer())
+    traced_serial = run_config_set(_PLATFORM, spec, configs, states, jobs=1)
+    traced_pooled = run_config_set(_PLATFORM, spec, configs, states, jobs=4)
+    spans_mod.deactivate()
+    assert plain == traced_serial == traced_pooled
