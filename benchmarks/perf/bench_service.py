@@ -1,0 +1,241 @@
+"""Cap-advisor service benchmark: emits ``BENCH_service.json``.
+
+Starts an :class:`~repro.service.server.AdvisorServer` in-process on an
+ephemeral loopback port (fresh cache directory unless ``--cache-dir`` says
+otherwise) and measures the three service-level numbers the regression
+gate enforces:
+
+- ``service_warm_p50_ms`` / ``service_warm_p99_ms`` / ``service_warm_qps``
+  — latency distribution and throughput of warm ``POST /v1/advise``
+  queries (every underlying entry already on disk), measured across
+  ``--warm-clients`` concurrent keep-alive clients;
+- ``service_cold_ms`` — wall time of the one cold query that populated
+  the cache (evidence, not gated: it is dominated by simulation cost);
+- ``service_burst_requests`` / ``service_burst_computations`` — the
+  coalescing contract: ``--burst-clients`` concurrent clients fire the
+  *same* never-seen query and the server must run **one** underlying
+  computation (everyone else joins the flight or resolves warm after it
+  lands).  ``service_coalescing_ratio`` = requests per computation.
+
+The query is the tiny-scale reference instance, so the benchmark measures
+service overhead (HTTP, probe pool, coalescer), not simulator throughput —
+``bench_perf.py`` owns that.  Each measurement section repeats
+``--repeats`` times (floored at 3) and reports the median; min/max ride
+along as dispersion evidence.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_service.py --out BENCH_service.json
+    python benchmarks/perf/check_regression.py --service BENCH_service.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import statistics
+import sys
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.service.client import AdvisorClient, advice_bytes, wait_ready
+from repro.service.server import AdvisorServer
+
+#: The reference query: cheapest real advise instance (tiny-scale GEMM
+#: ladder on the 2xV100 platform).
+QUERY = {
+    "platform": "24-Intel-2-V100",
+    "op": "gemm",
+    "precision": "double",
+    "scale": "tiny",
+}
+
+
+@contextmanager
+def running_server(cache_dir: str, **kwargs):
+    server = AdvisorServer(cache_dir=cache_dir, port=0, **kwargs)
+    started = threading.Event()
+
+    def runner():
+        asyncio.run(server.run(install_signals=False,
+                               ready=lambda s: started.set()))
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    if not started.wait(30):
+        raise RuntimeError("advisor server never started")
+    if not wait_ready("127.0.0.1", server.port, timeout_s=30):
+        raise RuntimeError("advisor server never answered healthz")
+    try:
+        yield server
+    finally:
+        server.stop_threadsafe()
+        thread.join(timeout=30)
+        if thread.is_alive():
+            raise RuntimeError("advisor server failed to drain")
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of a non-empty sample."""
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(q / 100.0 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def counter_value(server: AdvisorServer, name: str) -> float:
+    metric = server.registry.get(name)
+    return metric.value if metric is not None else 0.0
+
+
+# ------------------------------------------------------------ measurements
+
+def bench_cold(server: AdvisorServer, query: dict) -> dict:
+    """One cold query on a fresh cache; populates it for the warm phase."""
+    with AdvisorClient("127.0.0.1", server.port) as client:
+        t0 = time.perf_counter()
+        response = client.advise(query)
+        wall = time.perf_counter() - t0
+    if response.status != 200 or not response.doc["served"]["computed"]:
+        raise RuntimeError(f"cold query failed: {response.status} "
+                           f"{response.text[:200]}")
+    return {"service_cold_ms": wall * 1000.0,
+            "cold_advice": advice_bytes(response)}
+
+
+def bench_warm(server: AdvisorServer, query: dict, clients: int, iters: int,
+               repeats: int) -> dict:
+    """Warm latency distribution and throughput over keep-alive clients."""
+
+    def worker(_):
+        samples = []
+        with AdvisorClient("127.0.0.1", server.port) as client:
+            for _ in range(iters):
+                t0 = time.perf_counter()
+                response = client.advise(query)
+                samples.append(time.perf_counter() - t0)
+                if (response.status != 200
+                        or not response.doc["served"]["cache_hit"]):
+                    raise RuntimeError(
+                        f"warm query missed the cache: {response.text[:200]}"
+                    )
+        return samples
+
+    p50s, p99s, qps_list = [], [], []
+    last_advice = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            per_client = list(pool.map(worker, range(clients)))
+        wall = time.perf_counter() - t0
+        samples = [s for chunk in per_client for s in chunk]
+        p50s.append(percentile(samples, 50) * 1000.0)
+        p99s.append(percentile(samples, 99) * 1000.0)
+        qps_list.append(len(samples) / wall)
+    with AdvisorClient("127.0.0.1", server.port) as client:
+        last_advice = advice_bytes(client.advise(query))
+    return {
+        "service_warm_p50_ms": statistics.median(p50s),
+        "service_warm_p99_ms": statistics.median(p99s),
+        "service_warm_p99_ms_min": min(p99s),
+        "service_warm_p99_ms_max": max(p99s),
+        "service_warm_qps": statistics.median(qps_list),
+        "service_warm_clients": clients,
+        "service_warm_samples": clients * iters * repeats,
+        "warm_advice": last_advice,
+    }
+
+
+def bench_burst(server: AdvisorServer, query: dict, clients: int) -> dict:
+    """The coalescing contract: N identical cold queries, one computation.
+
+    ``query`` must never have been computed in this cache (the caller
+    bumps the seed past the warm query's).  Every client must get a 200
+    with the same advice bytes; the server-side computation counter must
+    move by exactly one.
+    """
+    before = counter_value(server, "repro_service_advise_computations_total")
+
+    barrier = threading.Barrier(clients)
+
+    def fire(_):
+        with AdvisorClient("127.0.0.1", server.port,
+                           timeout_s=120.0) as client:
+            barrier.wait(timeout=60)
+            return client.advise(query)
+
+    t0 = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=clients) as pool:
+        responses = list(pool.map(fire, range(clients)))
+    wall = time.perf_counter() - t0
+
+    bad = [r.status for r in responses if r.status != 200]
+    if bad:
+        raise RuntimeError(f"burst saw non-200 responses: {bad}")
+    bodies = {advice_bytes(r) for r in responses}
+    computations = counter_value(
+        server, "repro_service_advise_computations_total") - before
+    return {
+        "service_burst_requests": clients,
+        "service_burst_computations": computations,
+        "service_coalescing_ratio": clients / max(computations, 1.0),
+        "service_burst_wall_s": wall,
+        "service_burst_distinct_bodies": len(bodies),
+        "service_burst_coalesced": sum(
+            r.doc["served"]["coalesced"] for r in responses),
+        "service_burst_warm_hits": sum(
+            r.doc["served"]["cache_hit"] for r in responses),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=Path("BENCH_service.json"))
+    parser.add_argument("--cache-dir", default=None,
+                        help="reuse a cache directory (default: fresh temp)")
+    parser.add_argument("--warm-clients", type=int, default=4)
+    parser.add_argument("--warm-iters", type=int, default=50,
+                        help="warm requests per client per repeat")
+    parser.add_argument("--burst-clients", type=int, default=64)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repeat count for the warm section (min 3)")
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base query seed; with a reused --cache-dir, "
+                             "pick one the cache has never seen so the cold "
+                             "and burst sections stay cold (the burst query "
+                             "uses seed+1)")
+    args = parser.parse_args(argv)
+    repeats = max(3, args.repeats)
+    query = dict(QUERY, seed=args.seed)
+    burst_query = dict(QUERY, seed=args.seed + 1)
+
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp:
+        cache_dir = args.cache_dir if args.cache_dir else tmp
+        with running_server(cache_dir, shards=args.shards,
+                            max_queue=max(16, args.burst_clients)) as server:
+            cold = bench_cold(server, query)
+            warm = bench_warm(server, query, args.warm_clients,
+                              args.warm_iters, repeats)
+            burst = bench_burst(server, burst_query, args.burst_clients)
+
+    payload = {
+        "bench": "service",
+        "service_cold_ms": cold["service_cold_ms"],
+        "service_warm_advice_identical":
+            cold["cold_advice"] == warm["warm_advice"],
+        **{k: v for k, v in warm.items() if k != "warm_advice"},
+        **burst,
+    }
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,7 +27,7 @@ gc policy and when *not* to trust a warm cache.
 """
 
 from repro.cache.experiment import ExperimentCache
-from repro.cache.keys import canonical_json, code_fingerprint, digest
+from repro.cache.keys import canonical_json, canonical_number, code_fingerprint, digest
 from repro.cache.store import CacheStore, CorruptEntry
 
 __all__ = [
@@ -35,6 +35,7 @@ __all__ = [
     "CorruptEntry",
     "ExperimentCache",
     "canonical_json",
+    "canonical_number",
     "code_fingerprint",
     "digest",
 ]

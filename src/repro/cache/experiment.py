@@ -29,7 +29,7 @@ from __future__ import annotations
 import os
 from typing import Any, Callable, Optional, Sequence
 
-from repro.cache.keys import code_fingerprint, run_key
+from repro.cache.keys import canonical_number, code_fingerprint, run_key
 from repro.cache.store import CacheStore, CorruptEntry
 from repro.obs import spans as _spans
 
@@ -120,7 +120,7 @@ class ExperimentCache:
                 "model": model,
                 "n": int(n),
                 "precision": str(precision),
-                "step_pct": float(step_pct),
+                "step_pct": canonical_number(step_pct, "step_pct"),
                 "m": None if m is None else int(m),
                 "k": None if k is None else int(k),
             }
@@ -197,7 +197,14 @@ class ExperimentCache:
 def operation_call(
     fn: str, platform, spec, config, states, scheduler, seed, cpu_caps
 ) -> dict:
-    """Canonical call document for one application-run identity."""
+    """Canonical call document for one application-run identity.
+
+    Float fields go through :func:`~repro.cache.keys.canonical_number`, so a
+    ``-0.0`` watt value keys identically to ``0.0`` and a non-finite value
+    raises ``ValueError`` here (callers treat that as uncacheable or, at the
+    service boundary, as a client error) instead of exploding inside the
+    no-NaN JSON encoder at lookup time.
+    """
     return {
         "fn": fn,
         "platform": str(platform),
@@ -206,11 +213,16 @@ def operation_call(
         "nb": int(spec.nb),
         "precision": str(spec.precision),
         "config": str(config.letters),
-        "states": [float(states.h_w), float(states.b_w), float(states.l_w)],
+        "states": [
+            canonical_number(states.h_w, "states.h_w"),
+            canonical_number(states.b_w, "states.b_w"),
+            canonical_number(states.l_w, "states.l_w"),
+        ],
         "scheduler": str(scheduler),
         "seed": int(seed),
         "cpu_caps": (
-            {str(k): float(v) for k, v in cpu_caps.items()} if cpu_caps else {}
+            {str(k): canonical_number(v, f"cpu_caps[{k}]") for k, v in cpu_caps.items()}
+            if cpu_caps else {}
         ),
     }
 

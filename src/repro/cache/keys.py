@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 from pathlib import Path
 from typing import Optional
 
@@ -32,6 +33,27 @@ def canonical_json(doc: object) -> str:
     return json.dumps(
         doc, sort_keys=True, separators=(",", ":"), allow_nan=False
     )
+
+
+def canonical_number(value: object, name: str = "value") -> float:
+    """A float fit for a cache-key document, or ``ValueError``.
+
+    Two numerically equal inputs must produce the same key, and every
+    accepted input must survive :func:`canonical_json` (which rejects
+    NaN/Infinity).  So: non-finite values raise *here*, with a message
+    naming the offending field (service boundaries turn that into a 400
+    instead of a 500 from deep inside the encoder), and negative zero is
+    canonicalised to positive zero — ``-0.0 == 0.0`` numerically, but they
+    serialise differently and would otherwise split one identity across
+    two keys.
+    """
+    try:
+        f = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise ValueError(f"{name} is not a number: {value!r}") from None
+    if not math.isfinite(f):
+        raise ValueError(f"{name} must be finite, got {f!r}")
+    return f + 0.0 if f == 0.0 else f  # -0.0 + 0.0 == +0.0 (IEEE 754)
 
 
 def digest(doc: object) -> str:

@@ -11,6 +11,7 @@ Three families of commands::
     repro report runs/hl                              # audit a traced run
     repro watch runs/hl --follow                      # live dashboard over a stream
     repro chaos --preset kill-throttle                # fault-injected run + audit
+    repro serve --cache-dir .repro-cache              # cap-advisor HTTP service
 
 Any run-producing command accepts ``--spans FILE`` to record a span trace
 of where its wall time went (see :mod:`repro.obs.spans`).
@@ -244,6 +245,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-clear", action="store_true",
                    help="append frames instead of clearing the screen")
 
+    p = sub.add_parser(
+        "serve",
+        help="run the cap-advisor service: POST /v1/advise answers "
+        "cap-planning queries from the shared cache (warm) or a coalesced "
+        "worker pool (cold)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8750,
+                   help="listen port (0 = pick an ephemeral port)")
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="shared experiment cache the service answers from "
+        f"(default: ${CACHE_DIR_ENV} or .repro-cache)",
+    )
+    p.add_argument("--shards", type=int, default=2, metavar="N",
+                   help="worker shards for cold computations")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="parallel_starmap processes per shard "
+                   "(0 = one per core)")
+    p.add_argument("--max-queue", type=int, default=16, metavar="N",
+                   help="max distinct cold computations in flight before "
+                   "429 backpressure")
+    p.add_argument("--request-timeout", type=float, default=120.0,
+                   metavar="S", help="per-request timeout (504 past it; the "
+                   "computation still finishes and is cached)")
+    p.add_argument("--drain-timeout", type=float, default=10.0, metavar="S",
+                   help="seconds to let in-flight requests finish on "
+                   "SIGTERM/SIGINT")
+
     p = sub.add_parser("cache", help="inspect and maintain the experiment cache")
     p.add_argument(
         "--cache-dir", default=None, metavar="DIR",
@@ -459,6 +489,37 @@ def _cmd_watch(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service.server import AdvisorServer, serve_url
+
+    cache_dir = args.cache_dir or os.environ.get(CACHE_DIR_ENV) or ".repro-cache"
+    server = AdvisorServer(
+        cache_dir=cache_dir,
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        jobs=(os.cpu_count() or 1) if args.jobs == 0 else args.jobs,
+        max_queue=args.max_queue,
+        request_timeout_s=args.request_timeout,
+        drain_timeout_s=args.drain_timeout,
+    )
+
+    def ready(srv: AdvisorServer) -> None:
+        # One parseable line the CI jobs and the load generator wait for.
+        sys.stdout.write(
+            f"repro serve: listening on {serve_url(srv.host, srv.port)} "
+            f"(cache {cache_dir}, {srv.shards} shards x {srv.jobs} jobs, "
+            f"queue {srv.max_queue})\n"
+        )
+        sys.stdout.flush()
+
+    asyncio.run(server.run(ready=ready))
+    sys.stdout.write("repro serve: drained cleanly\n")
+    return 0
+
+
 def _cmd_cache(args) -> int:
     from repro.cache import CacheStore
 
@@ -508,6 +569,8 @@ def _dispatch(args) -> int:
         return _cmd_report(args)
     if args.command == "watch":
         return _cmd_watch(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "cache":
         return _cmd_cache(args)
     cache = _open_cache(args)

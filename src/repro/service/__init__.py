@@ -1,0 +1,63 @@
+"""Cap-advisor service: sweep-as-a-service over the shared experiment cache.
+
+The paper's end product is a recommendation — *given this platform,
+workload and energy budget, run cap configuration X* — and every layer
+below this one already makes that recommendation cheap: the
+content-addressed cache (:mod:`repro.cache`) replays a warm query in
+milliseconds, and the parallel executor (:mod:`repro.experiments.parallel`)
+makes cold ones fast.  This package turns those one-shot CLI drivers into a
+long-running **asyncio HTTP service**:
+
+- ``POST /v1/advise`` — platform, workload, scheduler, objective, energy
+  budget in; recommended :class:`~repro.core.capconfig.CapConfig` with
+  predicted makespan/energy and provenance out.
+- ``GET /v1/healthz`` — liveness (503 while draining).
+- ``GET /v1/metrics`` — Prometheus text (reuses
+  :class:`repro.obs.metrics.MetricsRegistry`).
+- ``GET /v1/cache/stats`` — the shared store's entry/byte counts plus the
+  server's hit/miss/coalescing totals.
+
+Layering (stdlib only — no aiohttp, no http.server):
+
+- :mod:`repro.service.protocol` — request validation and the canonical
+  advise document (the service boundary where ``-0.0`` budgets are
+  canonicalised and non-finite weights become a 400, not a 500).
+- :mod:`repro.service.advisor` — the pure advice computation: evaluate the
+  candidate ladder through :class:`~repro.cache.ExperimentCache`, score by
+  objective, pick the winner.  A :class:`~repro.service.advisor.ProbeCache`
+  answers *warm* queries entirely from disk without ever simulating.
+- :mod:`repro.service.coalesce` — single-flight map: N identical in-flight
+  requests share one computation; failures propagate to every waiter and
+  are never cached.
+- :mod:`repro.service.http` — minimal HTTP/1.1 parser/serialiser over
+  asyncio streams (keep-alive, Content-Length bodies only).
+- :mod:`repro.service.server` — :class:`AdvisorServer`: warm queries
+  resolve on a small thread pool, cold ones are coalesced and dispatched to
+  a sharded ``parallel_starmap``-backed worker pool with bounded queue
+  depth (429 backpressure), per-request timeouts (504) and graceful drain
+  on SIGTERM.
+- :mod:`repro.service.client` — the blocking client used by the tests, the
+  CI smoke job and the load generator.
+
+See ``docs/service.md`` for schemas and operational notes.
+"""
+
+from repro.service.advisor import ColdMiss, ProbeCache, advise_key, evaluate
+from repro.service.client import AdvisorClient, wait_ready
+from repro.service.coalesce import Coalescer
+from repro.service.protocol import AdviseRequest, ValidationError, parse_advise_request
+from repro.service.server import AdvisorServer
+
+__all__ = [
+    "AdviseRequest",
+    "AdvisorClient",
+    "AdvisorServer",
+    "Coalescer",
+    "ColdMiss",
+    "ProbeCache",
+    "ValidationError",
+    "advise_key",
+    "evaluate",
+    "parse_advise_request",
+    "wait_ready",
+]

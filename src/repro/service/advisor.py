@@ -1,0 +1,215 @@
+"""The advice computation: a pure function of (request, cache).
+
+:func:`evaluate` runs the candidate cap-configuration ladder for the
+requested workload through the same :func:`~repro.core.tradeoff.run_operation`
+path every CLI driver uses, scores each candidate under the requested
+objective, applies the energy budget, and returns a plain-JSON *advice
+document*.  Because every underlying call is content-addressed cacheable,
+the document is **byte-identical** whether it was computed cold or replayed
+warm — the service relies on that for its cold/warm identity guarantee.
+
+:class:`ProbeCache` is the warm path: an :class:`~repro.cache.ExperimentCache`
+that refuses to simulate.  Any miss raises :class:`ColdMiss`, so
+``evaluate(request, ProbeCache(...))`` either returns the full advice in a
+few milliseconds of disk reads or proves the query needs real work.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache import ExperimentCache
+from repro.cache.keys import run_key
+from repro.core.capconfig import CapConfig
+from repro.experiments.platforms import cap_states, config_list, operation_spec
+from repro.hardware.catalog import PLATFORMS
+from repro.service.protocol import AdviseRequest
+
+#: Advice document schema; bump on layout changes.
+ADVICE_SCHEMA = 1
+
+#: Objectives where a larger score is better (the rest minimise).
+_MAXIMISE = {"efficiency", "gflops"}
+
+
+class ColdMiss(Exception):
+    """A probe hit a cache miss: the query cannot be answered warm."""
+
+    def __init__(self, key: str) -> None:
+        super().__init__(f"cache miss for {key[:12]}")
+        self.key = key
+
+
+class ProbeCache(ExperimentCache):
+    """A cache that only replays: a miss aborts instead of simulating.
+
+    Used by the server's warm path, which runs next to the event loop and
+    must never pay simulation time.  Every call the advisor makes is
+    cacheable by construction (catalog platforms, no tracer), so a probe
+    either completes from disk or raises :class:`ColdMiss` on the first
+    absent entry.
+    """
+
+    def load(self, key: str):
+        hit, value = super().load(key)
+        if not hit:
+            raise ColdMiss(key)
+        return hit, value
+
+    def save(self, key: str, value, label: str = "") -> None:
+        # A probe never computes, so it has nothing to persist; seeing a
+        # save means a miss slipped through — fail loudly in development.
+        raise AssertionError("ProbeCache.save called: a probe computed a value")
+
+
+def advise_key(request: AdviseRequest, fingerprint: str) -> str:
+    """The coalescing/identity key of one advise query under one code tree."""
+    return run_key(fingerprint, {"fn": "advise", **request.doc()})
+
+
+def evaluate(request: AdviseRequest, cache: ExperimentCache, jobs: int = 1) -> dict:
+    """Compute the advice document for one validated request.
+
+    Deterministic: candidates are evaluated in a fixed order, scores use
+    the exact cached float values, and ties break on config letters.  The
+    all-H default is always evaluated (it anchors the ``vs_default`` deltas
+    and the ``weighted`` normalisation) even when the caller's explicit
+    candidate list omits it.
+    """
+    n_gpus = PLATFORMS[request.platform].n_gpus
+    default = "H" * n_gpus
+    candidates = (
+        list(request.configs) if request.configs is not None
+        else [c.letters for c in config_list(request.platform)]
+    )
+    run_list = candidates if default in candidates else [default] + candidates
+
+    spec = operation_spec(request.platform, request.op, request.precision,
+                          request.scale)
+    states = cap_states(request.platform, request.op, request.precision,
+                        request.scale, cache=cache)
+
+    from repro.core.tradeoff import run_config_set
+
+    metrics = run_config_set(
+        request.platform, spec, [CapConfig(c) for c in run_list], states,
+        scheduler=request.scheduler, seed=request.seed,
+        cpu_caps=request.cpu_caps_dict() or None, jobs=jobs, cache=cache,
+    )
+    base = metrics[default]
+
+    rows = []
+    for letters in candidates:
+        m = metrics[letters]
+        score = _score(request, m, base)
+        within = (
+            None if request.energy_budget_j is None
+            else bool(m.energy_j <= request.energy_budget_j)
+        )
+        rows.append({
+            "config": letters,
+            "makespan_s": m.makespan_s,
+            "energy_j": m.energy_j,
+            "gflops": m.gflops,
+            "efficiency_gflops_per_w": m.efficiency,
+            "gpu_task_fraction": m.gpu_task_fraction,
+            "score": score,
+            "within_budget": within,
+        })
+
+    feasible = [r for r in rows if r["within_budget"] in (True, None)]
+    pool = feasible if feasible else rows
+    best = min(pool, key=lambda r: (_rank(request.objective, r["score"]),
+                                    r["config"]))
+    m = metrics[best["config"]]
+
+    doc: dict = {
+        "schema": ADVICE_SCHEMA,
+        "request": request.doc(),
+        "states_w": {"H": states.h_w, "B": states.b_w, "L": states.l_w},
+        "recommendation": {
+            "config": best["config"],
+            "caps_w": CapConfig(best["config"]).watts(states),
+            "objective": request.objective,
+            "score": best["score"],
+            "within_budget": best["within_budget"],
+            "predicted": {
+                "makespan_s": m.makespan_s,
+                "energy_j": m.energy_j,
+                "gflops": m.gflops,
+                "efficiency_gflops_per_w": m.efficiency,
+            },
+            "vs_default": {
+                "perf_delta_pct": m.perf_delta_pct(base),
+                "energy_saving_pct": m.energy_saving_pct(base),
+                "efficiency_delta_pct": m.efficiency_delta_pct(base),
+            },
+        },
+        "candidates": rows,
+        "provenance": {"fingerprint": cache.fingerprint},
+    }
+    if request.energy_budget_j is not None:
+        doc["budget"] = {
+            "energy_budget_j": request.energy_budget_j,
+            "feasible_candidates": sum(1 for r in rows if r["within_budget"]),
+            "satisfied": best["within_budget"] is True,
+        }
+    return doc
+
+
+def _score(request: AdviseRequest, m, base) -> float:
+    """The objective value of one candidate (orientation per objective)."""
+    obj = request.objective
+    if obj == "efficiency":
+        return m.efficiency
+    if obj == "gflops":
+        return m.gflops
+    if obj == "energy":
+        return m.energy_j
+    if obj == "makespan":
+        return m.makespan_s
+    if obj == "edp":
+        return m.energy_j * m.makespan_s
+    if obj == "ed2p":
+        return m.energy_j * m.makespan_s ** 2
+    weights = request.weights_dict()  # "weighted": normalised blend, minimise
+    return (
+        weights.get("energy", 0.0) * (m.energy_j / base.energy_j)
+        + weights.get("time", 0.0) * (m.makespan_s / base.makespan_s)
+    )
+
+
+def _rank(objective: str, score: float) -> float:
+    """Map a score to please-minimise order."""
+    return -score if objective in _MAXIMISE else score
+
+
+def compute_advice(
+    request: AdviseRequest,
+    store_root: str,
+    fingerprint: Optional[str] = None,
+    jobs: int = 1,
+) -> tuple[dict, dict]:
+    """Cold path (runs on a worker shard): compute, write through, report.
+
+    Returns ``(advice, cache_counts)``; every miss this computation pays is
+    persisted to the shared store, so the next identical query anywhere —
+    this process, another replica, tomorrow's CLI run — replays warm.
+    """
+    cache = ExperimentCache(store_root, fingerprint=fingerprint)
+    advice = evaluate(request, cache, jobs=jobs)
+    return advice, {"hits": cache.hits, "misses": cache.misses}
+
+
+def probe_advice(
+    request: AdviseRequest,
+    store_root: str,
+    fingerprint: Optional[str] = None,
+) -> Optional[tuple[dict, dict]]:
+    """Warm path: full advice from disk alone, or ``None`` on any miss."""
+    cache = ProbeCache(store_root, fingerprint=fingerprint)
+    try:
+        advice = evaluate(request, cache, jobs=1)
+    except ColdMiss:
+        return None
+    return advice, {"hits": cache.hits, "misses": 0}

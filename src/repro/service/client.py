@@ -1,0 +1,133 @@
+"""Blocking client for the cap-advisor service.
+
+Used by the test suite, the CI smoke job and the load generator
+(``benchmarks/perf/bench_service.py``).  Thin on purpose: one
+``http.client.HTTPConnection`` per client, transparent reconnect when the
+server closed a keep-alive connection, JSON in/out.  Not thread-safe —
+give each load-generator thread its own client.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+@dataclass
+class ServiceResponse:
+    """One decoded HTTP exchange."""
+
+    status: int
+    doc: Any
+    text: str
+    headers: dict[str, str]
+
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class AdvisorClient:
+    """Talk to one :class:`~repro.service.server.AdvisorServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8750,
+                 timeout_s: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------ transport
+
+    def _request(self, method: str, path: str,
+                 body: Optional[bytes] = None) -> ServiceResponse:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+        headers = {"Content-Type": "application/json"} if body else {}
+        try:
+            self._conn.request(method, path, body=body, headers=headers)
+            response = self._conn.getresponse()
+        except (http.client.NotConnected, http.client.RemoteDisconnected,
+                BrokenPipeError, ConnectionResetError):
+            # The server dropped the keep-alive connection (drain, restart,
+            # idle close); retry exactly once on a fresh connection.
+            self.close()
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+            self._conn.request(method, path, body=body, headers=headers)
+            response = self._conn.getresponse()
+        raw = response.read()
+        if response.will_close:
+            self.close()
+        text = raw.decode("utf-8", errors="replace")
+        doc: Any = None
+        if "application/json" in (response.getheader("Content-Type") or ""):
+            try:
+                doc = json.loads(text)
+            except ValueError:
+                doc = None
+        return ServiceResponse(
+            status=response.status, doc=doc, text=text,
+            headers={k.lower(): v for k, v in response.getheaders()},
+        )
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "AdvisorClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ endpoints
+
+    def advise(self, doc: dict) -> ServiceResponse:
+        """``POST /v1/advise`` with a request document."""
+        return self._request(
+            "POST", "/v1/advise", json.dumps(doc).encode("utf-8")
+        )
+
+    def healthz(self) -> ServiceResponse:
+        return self._request("GET", "/v1/healthz")
+
+    def metrics(self) -> str:
+        """The Prometheus text snapshot from ``GET /v1/metrics``."""
+        return self._request("GET", "/v1/metrics").text
+
+    def cache_stats(self) -> ServiceResponse:
+        return self._request("GET", "/v1/cache/stats")
+
+
+def advice_bytes(response: ServiceResponse) -> bytes:
+    """The deterministic bytes of a response's advice document.
+
+    Cold and warm answers to the same query must agree on these bytes
+    exactly — this is the helper the byte-identity checks use.
+    """
+    return json.dumps(
+        response.doc["advice"], sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def wait_ready(host: str, port: int, timeout_s: float = 30.0,
+               interval_s: float = 0.05) -> bool:
+    """Poll ``/v1/healthz`` until the server answers 200, or time out."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            with AdvisorClient(host, port, timeout_s=2.0) as client:
+                if client.healthz().status == 200:
+                    return True
+        except (ConnectionError, socket.timeout, OSError):
+            pass
+        time.sleep(interval_s)
+    return False

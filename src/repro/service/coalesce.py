@@ -1,0 +1,93 @@
+"""Single-flight request coalescing.
+
+N identical queries in flight must cost **one** computation: the first
+caller becomes the *leader* and runs it; everyone else awaits the same
+future.  Three properties matter (and are what the tests pin):
+
+- distinct keys never share a computation (M distinct + N identical
+  in-flight requests -> exactly M+1 computations);
+- a computation that raises propagates its exception to *every* waiter;
+- nothing is memoised here — success lands in the on-disk cache (written
+  by the computation itself), failure lands nowhere, so the next request
+  for a failed key starts a fresh computation.
+
+The map is event-loop-confined (no locks): ``lease``/``resolve`` are plain
+synchronous methods called from the loop thread only.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Optional
+
+
+class Coalescer:
+    """In-flight computations keyed by canonical request key."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[str, asyncio.Future] = {}
+        #: Computations started (leaders).
+        self.started = 0
+        #: Requests that joined an existing computation instead of starting one.
+        self.joined = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def peek(self, key: str) -> Optional[asyncio.Future]:
+        """The in-flight future for ``key``, or ``None``.  Does not count."""
+        return self._inflight.get(key)
+
+    def lease(self, key: str) -> tuple[asyncio.Future, bool]:
+        """``(future, leader)`` — ``leader`` means the caller must compute.
+
+        The returned future resolves with the computation's result (or its
+        exception).  A non-leader caller has merely joined; it must not
+        start any work.
+        """
+        fut = self._inflight.get(key)
+        if fut is not None:
+            self.joined += 1
+            return fut, False
+        fut = asyncio.get_running_loop().create_future()
+        # A waiter that times out (or disconnects) may leave the future's
+        # exception unretrieved; consume it so GC never logs a spurious
+        # "exception was never retrieved".
+        fut.add_done_callback(_retrieve_exception)
+        self._inflight[key] = fut
+        self.started += 1
+        return fut, True
+
+    def resolve(
+        self,
+        key: str,
+        fut: asyncio.Future,
+        result: Any = None,
+        exc: Optional[BaseException] = None,
+    ) -> None:
+        """Deliver the leader's outcome to every waiter and retire the key.
+
+        The key is removed *before* the future resolves, so a request that
+        arrives after a failure starts a fresh computation — errors are
+        never cached.
+        """
+        if self._inflight.get(key) is fut:
+            del self._inflight[key]
+        if fut.cancelled():  # pragma: no cover - defensive
+            return
+        if exc is not None:
+            fut.set_exception(exc)
+        else:
+            fut.set_result(result)
+
+    def stats(self) -> dict:
+        return {
+            "inflight": len(self._inflight),
+            "started": self.started,
+            "joined": self.joined,
+        }
+
+
+def _retrieve_exception(fut: asyncio.Future) -> None:
+    if not fut.cancelled():
+        fut.exception()

@@ -1,0 +1,142 @@
+"""Minimal HTTP/1.1 over asyncio streams — requests in, responses out.
+
+Deliberately tiny: the service speaks plain HTTP/1.1 with
+``Content-Length`` bodies and keep-alive, which is everything the client,
+the CI smoke job, ``curl`` and a Prometheus scraper need.  No chunked
+transfer encoding (501), no multipart, no TLS.  Hand-rolled because the
+stdlib offers no asyncio HTTP server and this repo adds no dependencies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Optional
+from urllib.parse import parse_qs, urlsplit
+
+#: Maximum accepted header block, in bytes.
+MAX_HEADER_BYTES = 16 * 1024
+#: Maximum accepted request body, in bytes (advise documents are tiny).
+MAX_BODY_BYTES = 256 * 1024
+
+STATUS_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class BadRequest(ValueError):
+    """An unparseable or oversized request; carries the status to answer."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str
+    path: str
+    query: dict[str, list[str]] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def close(self) -> bool:
+        return self.headers.get("connection", "").lower() == "close"
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`BadRequest` on malformed input (the caller answers with
+    the carried status and closes) and propagates ``IncompleteReadError``
+    /``LimitOverrunError`` style truncation as :class:`BadRequest` too.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between requests: keep-alive ended
+        raise BadRequest("truncated request head") from None
+    except asyncio.LimitOverrunError:
+        raise BadRequest("header block too large", status=413) from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise BadRequest("header block too large", status=413)
+
+    lines = head[:-4].decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise BadRequest(f"malformed request line {lines[0]!r}")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise BadRequest(f"unsupported protocol {version!r}", status=501)
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        name, sep, value = line.partition(":")
+        if not sep or not name.strip():
+            raise BadRequest(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise BadRequest("chunked bodies not supported", status=501)
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise BadRequest(
+                f"bad content-length {headers['content-length']!r}"
+            ) from None
+        if length < 0:
+            raise BadRequest(f"bad content-length {length}")
+        if length > MAX_BODY_BYTES:
+            raise BadRequest("request body too large", status=413)
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise BadRequest("truncated request body") from None
+
+    split = urlsplit(target)
+    return Request(
+        method=method.upper(),
+        target=target,
+        path=split.path or "/",
+        query=parse_qs(split.query),
+        headers=headers,
+        body=body,
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    close: bool = False,
+    extra_headers: Optional[dict[str, str]] = None,
+) -> bytes:
+    """Serialise one response (always with Content-Length)."""
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {phrase}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'close' if close else 'keep-alive'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body

@@ -1,0 +1,104 @@
+"""Float canonicalisation at the cache-key boundary.
+
+Two pathologies motivated this layer:
+
+- ``-0.0`` and ``0.0`` are ``==`` but serialise differently (``-0.0`` vs
+  ``0.0``), so without canonicalisation they hash to *different* cache
+  keys for the *same* physical configuration — silent double work.
+- NaN/Infinity survive all the way to the sorted-JSON encoder, whose
+  ``allow_nan=False`` raises a bare ``ValueError`` deep inside key
+  encoding — a 500 at the service boundary instead of a 400.
+"""
+
+import math
+
+import pytest
+
+from repro.cache import canonical_number
+from repro.cache.experiment import ExperimentCache, operation_call
+from repro.core.capconfig import CapConfig, CapStates
+from repro.experiments.platforms import operation_spec
+
+PLATFORM = "24-Intel-2-V100"
+
+
+def make_args(l_w=87.5, cpu_caps=None):
+    spec = operation_spec(PLATFORM, "gemm", "double", scale="tiny")
+    states = CapStates(h_w=250.0, b_w=162.5, l_w=l_w)
+    return (PLATFORM, spec, CapConfig("HL"), states, "dmdas", 0, cpu_caps)
+
+
+# ---------------------------------------------------------- canonical_number
+
+def test_plain_floats_pass_through():
+    assert canonical_number(1.5) == 1.5
+    assert canonical_number(3) == 3.0
+    assert isinstance(canonical_number(3), float)
+
+
+def test_negative_zero_becomes_positive_zero():
+    out = canonical_number(-0.0)
+    assert out == 0.0
+    assert math.copysign(1.0, out) == 1.0
+    # ...while genuine negative values keep their sign
+    assert canonical_number(-1.5) == -1.5
+
+
+@pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+def test_non_finite_raises_with_name(bad):
+    with pytest.raises(ValueError, match="budget_j must be finite"):
+        canonical_number(bad, "budget_j")
+
+
+def test_non_numeric_raises_with_name():
+    with pytest.raises(ValueError, match="budget_j is not a number"):
+        canonical_number("watts", "budget_j")
+    with pytest.raises(ValueError, match="not a number"):
+        canonical_number(None)
+
+
+# --------------------------------------------------------- operation_call
+
+def test_negative_zero_state_keys_identically(tmp_path):
+    cache = ExperimentCache(tmp_path, fingerprint="f" * 64)
+    key_pos = cache.key_for("run_operation", make_args(l_w=0.0))
+    key_neg = cache.key_for("run_operation", make_args(l_w=-0.0))
+    assert key_pos is not None
+    assert key_pos == key_neg
+
+
+def test_negative_zero_cpu_cap_keys_identically(tmp_path):
+    cache = ExperimentCache(tmp_path, fingerprint="f" * 64)
+    # A -0.0 CPU cap is physically nonsensical but must still key
+    # consistently rather than fork the cache.
+    key_pos = cache.key_for("run_operation", make_args(cpu_caps={1: 0.0}))
+    key_neg = cache.key_for("run_operation", make_args(cpu_caps={1: -0.0}))
+    assert key_pos == key_neg
+    # and differs from the no-caps key
+    assert key_pos != cache.key_for("run_operation", make_args())
+
+
+def test_non_finite_state_is_uncacheable_not_a_crash(tmp_path):
+    cache = ExperimentCache(tmp_path, fingerprint="f" * 64)
+    assert cache.key_for("run_operation", make_args(l_w=float("nan"))) is None
+    assert cache.key_for("run_operation", make_args(l_w=float("inf"))) is None
+    assert cache.key_for(
+        "run_operation", make_args(cpu_caps={1: float("nan")})
+    ) is None
+
+
+def test_operation_call_raises_cleanly_on_non_finite():
+    args = make_args(l_w=float("nan"))
+    with pytest.raises(ValueError, match="states.l_w"):
+        operation_call("run_operation", *args)
+
+
+def test_sweep_step_pct_canonicalised(tmp_path):
+    cache = ExperimentCache(tmp_path, fingerprint="f" * 64)
+    key_pos = cache.key_for("sweep_gemm", ("V100", 4096, "double", 0.0))
+    key_neg = cache.key_for("sweep_gemm", ("V100", 4096, "double", -0.0))
+    assert key_pos is not None
+    assert key_pos == key_neg
+    assert cache.key_for(
+        "sweep_gemm", ("V100", 4096, "double", float("inf"))
+    ) is None

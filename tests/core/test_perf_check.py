@@ -245,3 +245,77 @@ def test_cli_reports_malformed_input_clearly(mod, tmp_path, capsys):
     cur.write_text(json.dumps([1, 2, 3]))
     assert mod.main([str(cur), "--baseline", str(base)]) == 2
     assert "JSON object" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------- service gate
+
+SERVICE = {
+    "service_warm_p50_ms": 7.0,
+    "service_warm_p99_ms": 17.0,
+    "service_warm_qps": 500.0,
+    "service_cold_ms": 52.0,
+    "service_burst_requests": 64,
+    "service_burst_computations": 1.0,
+    "service_burst_distinct_bodies": 1,
+    "service_warm_advice_identical": True,
+}
+
+
+def test_service_within_budget(mod):
+    assert mod.check_service(dict(SERVICE)) == []
+
+
+def test_service_warm_p99_ceiling(mod):
+    failures = mod.check_service(dict(SERVICE, service_warm_p99_ms=50.01))
+    assert failures and "p99" in failures[0]
+    assert mod.check_service(dict(SERVICE, service_warm_p99_ms=50.0)) == []
+
+
+def test_service_coalescing_contract(mod):
+    failures = mod.check_service(
+        dict(SERVICE, service_burst_computations=2.0)
+    )
+    assert failures and "single-flight" in failures[0]
+
+
+def test_service_zero_computations_is_a_failure(mod):
+    # An already-warm burst proves nothing about coalescing.
+    failures = mod.check_service(
+        dict(SERVICE, service_burst_computations=0.0)
+    )
+    assert failures and "zero computations" in failures[0]
+
+
+def test_service_byte_identity_enforced(mod):
+    failures = mod.check_service(
+        dict(SERVICE, service_warm_advice_identical=False)
+    )
+    assert failures and "byte" in failures[0] or "deterministic" in failures[0]
+    failures = mod.check_service(
+        dict(SERVICE, service_burst_distinct_bodies=3)
+    )
+    assert failures and "distinct advice" in failures[0]
+
+
+def test_service_missing_metric_is_malformed(mod):
+    broken = dict(SERVICE)
+    del broken["service_warm_p99_ms"]
+    with pytest.raises(mod.MalformedInput, match="service_warm_p99_ms"):
+        mod.check_service(broken)
+
+
+def test_service_cli_modes(mod, tmp_path, capsys):
+    svc = tmp_path / "svc.json"
+    svc.write_text(json.dumps(SERVICE))
+    assert mod.main(["--service", str(svc)]) == 0
+    svc.write_text(json.dumps(dict(SERVICE, service_burst_computations=5.0)))
+    assert mod.main(["--service", str(svc)]) == 1
+    svc.write_text(json.dumps([1]))
+    assert mod.main(["--service", str(svc)]) == 2
+    capsys.readouterr()
+
+
+def test_cli_requires_some_input(mod):
+    with pytest.raises(SystemExit) as err:
+        mod.main([])
+    assert err.value.code == 2

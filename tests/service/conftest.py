@@ -1,0 +1,88 @@
+"""Shared helpers: run an :class:`AdvisorServer` in a background thread.
+
+The server is pure asyncio; the tests drive it with the blocking client
+from a normal pytest thread.  ``start_server`` owns the event loop thread
+and guarantees a clean drain at teardown, so no test leaks sockets,
+executor threads or pending computations into the next one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from contextlib import contextmanager
+
+import pytest
+
+from repro.service.client import AdvisorClient, wait_ready
+from repro.service.server import AdvisorServer
+
+#: The cheapest real advise query: a tiny-scale 2-GPU ladder (~tens of ms
+#: cold, a handful of cache entries).
+TINY_REQUEST = {
+    "platform": "24-Intel-2-V100",
+    "op": "gemm",
+    "precision": "double",
+    "scale": "tiny",
+}
+
+
+@pytest.fixture
+def tiny_request() -> dict:
+    return dict(TINY_REQUEST)
+
+
+@contextmanager
+def running_server(cache_dir, **kwargs):
+    """Start a server on an ephemeral port; yield it; drain on exit."""
+    server = AdvisorServer(cache_dir=str(cache_dir), port=0, **kwargs)
+    started = threading.Event()
+
+    def runner():
+        asyncio.run(server.run(install_signals=False,
+                               ready=lambda s: started.set()))
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    assert started.wait(15), "server never started"
+    assert wait_ready("127.0.0.1", server.port, timeout_s=15), \
+        "server never answered healthz"
+    try:
+        yield server
+    finally:
+        server.stop_threadsafe()
+        thread.join(timeout=15)
+        assert not thread.is_alive(), "server thread failed to drain"
+
+
+@pytest.fixture
+def start_server(tmp_path):
+    """Factory: ``start_server(**kwargs) -> AdvisorServer`` (auto-drained)."""
+    stack = []
+
+    def factory(cache_dir=None, **kwargs) -> AdvisorServer:
+        cm = running_server(
+            cache_dir if cache_dir is not None else tmp_path / "svc-cache",
+            **kwargs,
+        )
+        stack.append(cm)
+        return cm.__enter__()
+
+    yield factory
+    for cm in reversed(stack):
+        cm.__exit__(None, None, None)
+
+
+@pytest.fixture
+def client_for():
+    """Factory fixture: a client per call, all closed at teardown."""
+    clients = []
+
+    def make(server) -> AdvisorClient:
+        client = AdvisorClient("127.0.0.1", server.port)
+        clients.append(client)
+        return client
+
+    yield make
+    for client in clients:
+        client.close()

@@ -1,0 +1,160 @@
+"""Single-flight coalescer semantics, pinned without any HTTP in the way."""
+
+import asyncio
+
+import pytest
+
+from repro.service.coalesce import Coalescer
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_identical_keys_share_one_computation():
+    async def scenario():
+        coalescer = Coalescer()
+        computations = 0
+
+        async def request(key: str):
+            nonlocal computations
+            fut, leader = coalescer.lease(key)
+            if leader:
+                computations += 1
+                await asyncio.sleep(0.01)  # keep the flight open for joiners
+                coalescer.resolve(key, fut, result=f"answer:{key}")
+            return await fut
+
+        results = await asyncio.gather(*(request("k") for _ in range(8)))
+        assert results == ["answer:k"] * 8
+        assert computations == 1
+        assert coalescer.stats() == {"inflight": 0, "started": 1, "joined": 7}
+
+    run(scenario())
+
+
+def test_distinct_keys_never_coalesce():
+    async def scenario():
+        coalescer = Coalescer()
+        computed: list[str] = []
+
+        async def request(key: str):
+            fut, leader = coalescer.lease(key)
+            if leader:
+                await asyncio.sleep(0.01)
+                computed.append(key)
+                coalescer.resolve(key, fut, result=key.upper())
+            return await fut
+
+        # M distinct keys, plus N extra requests for one of them:
+        # exactly M computations in total (the "M+1" of M distinct + N
+        # identical, counting the identical key once).
+        distinct = [f"d{i}" for i in range(4)]
+        jobs = [request(k) for k in distinct]
+        jobs += [request("d0") for _ in range(5)]
+        results = await asyncio.gather(*jobs)
+        assert sorted(computed) == sorted(distinct)
+        assert results[:4] == ["D0", "D1", "D2", "D3"]
+        assert results[4:] == ["D0"] * 5
+        assert coalescer.started == 4
+        assert coalescer.joined == 5
+
+    run(scenario())
+
+
+def test_failure_propagates_to_every_waiter_and_is_not_cached():
+    async def scenario():
+        coalescer = Coalescer()
+        attempts = 0
+
+        async def request(key: str):
+            nonlocal attempts
+            fut, leader = coalescer.lease(key)
+            if leader:
+                attempts += 1
+                await asyncio.sleep(0.01)
+                if attempts == 1:
+                    coalescer.resolve(key, fut, exc=RuntimeError("boom"))
+                else:
+                    coalescer.resolve(key, fut, result="recovered")
+            return await fut
+
+        # First wave: every waiter sees the leader's exception.
+        wave = await asyncio.gather(
+            *(request("k") for _ in range(5)), return_exceptions=True
+        )
+        assert len(wave) == 5
+        assert all(isinstance(r, RuntimeError) for r in wave)
+        assert str(wave[0]) == "boom"
+        # The failed flight is retired: a later request starts fresh and
+        # succeeds, proving the error was never memoised.
+        assert len(coalescer) == 0
+        assert await request("k") == "recovered"
+        assert attempts == 2
+
+    run(scenario())
+
+
+def test_peek_does_not_join():
+    async def scenario():
+        coalescer = Coalescer()
+        assert coalescer.peek("k") is None
+        fut, leader = coalescer.lease("k")
+        assert leader
+        assert coalescer.peek("k") is fut
+        assert coalescer.joined == 0  # peek never counts as a join
+        coalescer.resolve("k", fut, result=1)
+        assert coalescer.peek("k") is None
+
+    run(scenario())
+
+
+def test_resolve_removes_key_before_delivering():
+    """A request arriving at resolve time must start a fresh flight."""
+
+    async def scenario():
+        coalescer = Coalescer()
+        fut, _ = coalescer.lease("k")
+
+        observed = {}
+
+        def on_done(f):
+            # Runs from the future's done callback: the key must already
+            # be retired, so a re-lease here is a fresh leader.
+            observed["inflight_at_delivery"] = len(coalescer)
+            _, leader = coalescer.lease("k")
+            observed["releases_as_leader"] = leader
+
+        fut.add_done_callback(on_done)
+        coalescer.resolve("k", fut, exc=ValueError("nope"))
+        await asyncio.sleep(0)  # let callbacks run
+        assert observed == {
+            "inflight_at_delivery": 0,
+            "releases_as_leader": True,
+        }
+        with pytest.raises(ValueError):
+            fut.result()
+
+    run(scenario())
+
+
+def test_unretrieved_exception_is_consumed():
+    """A timed-out waiter abandoning the future must not warn at GC."""
+
+    async def scenario():
+        coalescer = Coalescer()
+        fut, _ = coalescer.lease("k")
+        coalescer.resolve("k", fut, exc=RuntimeError("nobody listened"))
+        await asyncio.sleep(0)
+        # The registered done-callback retrieved the exception; deleting
+        # the future now must not trigger "exception was never retrieved".
+        return fut
+
+    import gc
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        fut = run(scenario())
+        del fut
+        gc.collect()

@@ -1,0 +1,160 @@
+"""HTTP/1.1 parser unit tests, driven by an in-memory StreamReader."""
+
+import asyncio
+
+import pytest
+
+from repro.service.http import (
+    MAX_BODY_BYTES,
+    BadRequest,
+    read_request,
+    render_response,
+)
+
+
+def parse(raw: bytes, eof: bool = True):
+    """Feed raw bytes into a StreamReader and parse one request."""
+
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        if eof:
+            reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(scenario())
+
+
+def test_get_without_body():
+    req = parse(b"GET /v1/healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+    assert req.method == "GET"
+    assert req.path == "/v1/healthz"
+    assert req.body == b""
+    assert req.headers["host"] == "x"
+    assert not req.close
+
+
+def test_post_with_content_length_body():
+    body = b'{"platform": "p"}'
+    raw = (
+        b"POST /v1/advise HTTP/1.1\r\n"
+        b"Content-Type: application/json\r\n"
+        + f"Content-Length: {len(body)}\r\n\r\n".encode()
+        + body
+    )
+    req = parse(raw)
+    assert req.method == "POST"
+    assert req.body == body
+
+
+def test_query_string_parsed_and_path_split():
+    req = parse(b"GET /v1/metrics?format=prom&x=1&x=2 HTTP/1.1\r\n\r\n")
+    assert req.path == "/v1/metrics"
+    assert req.query == {"format": ["prom"], "x": ["1", "2"]}
+
+
+def test_method_uppercased_and_header_names_lowercased():
+    req = parse(b"get / HTTP/1.1\r\nX-Custom-Header:  padded  \r\n\r\n")
+    assert req.method == "GET"
+    assert req.headers["x-custom-header"] == "padded"
+
+
+def test_connection_close_detected():
+    req = parse(b"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n")
+    assert req.close
+
+
+def test_clean_eof_returns_none():
+    assert parse(b"") is None
+
+
+def test_truncated_head_is_bad_request():
+    with pytest.raises(BadRequest):
+        parse(b"GET / HTTP/1.1\r\nHost: x")  # EOF before blank line
+
+
+def test_truncated_body_is_bad_request():
+    with pytest.raises(BadRequest, match="truncated request body"):
+        parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+
+
+def test_malformed_request_line():
+    with pytest.raises(BadRequest, match="malformed request line"):
+        parse(b"GARBAGE\r\n\r\n")
+
+
+def test_malformed_header_line():
+    with pytest.raises(BadRequest, match="malformed header"):
+        parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+
+
+def test_http_09_and_other_protocols_rejected():
+    with pytest.raises(BadRequest) as err:
+        parse(b"GET / SPDY/3\r\n\r\n")
+    assert err.value.status == 501
+
+
+def test_chunked_transfer_encoding_rejected():
+    with pytest.raises(BadRequest) as err:
+        parse(
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            b"0\r\n\r\n"
+        )
+    assert err.value.status == 501
+
+
+def test_bad_content_length_values():
+    with pytest.raises(BadRequest, match="bad content-length"):
+        parse(b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n")
+    with pytest.raises(BadRequest, match="bad content-length"):
+        parse(b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n")
+
+
+def test_oversized_body_rejected_with_413():
+    with pytest.raises(BadRequest) as err:
+        parse(
+            f"POST / HTTP/1.1\r\nContent-Length: {MAX_BODY_BYTES + 1}\r\n\r\n"
+            .encode()
+        )
+    assert err.value.status == 413
+
+
+def test_render_response_roundtrip():
+    raw = render_response(200, b'{"ok": true}')
+    head, _, body = raw.partition(b"\r\n\r\n")
+    assert body == b'{"ok": true}'
+    lines = head.decode("latin-1").split("\r\n")
+    assert lines[0] == "HTTP/1.1 200 OK"
+    assert "Content-Length: 12" in lines
+    assert "Content-Type: application/json" in lines
+    assert "Connection: keep-alive" in lines
+
+
+def test_render_response_close_and_extra_headers():
+    raw = render_response(
+        429, b"{}", close=True, extra_headers={"Retry-After": "1"}
+    )
+    head = raw.split(b"\r\n\r\n")[0].decode("latin-1")
+    assert "HTTP/1.1 429 Too Many Requests" in head
+    assert "Connection: close" in head
+    assert "Retry-After: 1" in head
+
+
+def test_keep_alive_across_two_requests_on_one_stream():
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(
+            b"GET /a HTTP/1.1\r\n\r\n"
+            b"POST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi"
+        )
+        reader.feed_eof()
+        first = await read_request(reader)
+        second = await read_request(reader)
+        third = await read_request(reader)
+        return first, second, third
+
+    first, second, third = asyncio.run(scenario())
+    assert first.path == "/a"
+    assert second.path == "/b" and second.body == b"hi"
+    assert third is None  # clean EOF after the pipelined pair
+
