@@ -1,0 +1,112 @@
+"""Governor benchmark: emits ``BENCH_govern.json``.
+
+Runs the ``repro govern`` comparison (governed run vs the best static cap
+configuration, same watt budget, same seed) for the three scenarios the
+regression gate cares about and records the deltas:
+
+- **fault-free steady** — the governor's overhead case.  The static-best
+  config is already near-optimal here, so the gated claim is only that
+  governing costs ``<= 2 %`` makespan (``govern_steady_makespan_pct``).
+- **fault-free shifting mix** — the governor's payoff case.  The workload
+  changes kernel *and* precision mid-run, the static ``B`` states are now
+  wrong, and the governor must **beat** static on energy
+  (``govern_shift_energy_pct < 0``).
+- **kill-throttle under the shifting mix** — evidence, not a delta gate
+  (static-best is measured fault-free, so the degradation percentages
+  mostly price the faults themselves).  What *is* gated: the run
+  completes, the audit passes and the budget held throughout.
+
+Every number is a simulated-clock measurement of a seeded deterministic
+run, so — unlike ``bench_perf.py`` — nothing here depends on machine
+speed and the gate (``check_regression.py --govern``) compares raw values
+with no normalisation.  Wall-clock seconds per scenario ride along as
+un-gated evidence.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_govern.py --out BENCH_govern.json
+    python benchmarks/perf/check_regression.py --govern BENCH_govern.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.faults.plan import FaultPlan, preset_plan
+from repro.govern.run import run_govern
+
+#: The reference scenario: tiny-scale GEMM ladder on the 2xV100 platform,
+#: the same instance every other bench and the govern tests exercise.
+PLATFORM = "24-Intel-2-V100"
+OP = "gemm"
+PRECISION = "double"
+SCALE = "tiny"
+
+
+def run_scenario(name: str, plan: FaultPlan, mix: str, seed: int,
+                 budget_w: float) -> dict:
+    """One govern comparison; returns the flat metric block for ``name``."""
+    t0 = time.perf_counter()
+    gov = run_govern(
+        PLATFORM, OP, PRECISION, plan,
+        budget_w=budget_w, mix=mix, seed=seed, scale=SCALE,
+    )
+    wall = time.perf_counter() - t0
+    summary = gov.summary
+    stats = summary["governor"]
+    audit = summary["audit"]
+    return {
+        f"govern_{name}_makespan_pct": summary["comparison"]["makespan_pct"],
+        f"govern_{name}_energy_pct": summary["comparison"]["energy_pct"],
+        f"govern_{name}_static_makespan_s": summary["static"]["makespan_s"],
+        f"govern_{name}_static_energy_j": summary["static"]["energy_j"],
+        f"govern_{name}_makespan_s": summary["governed"]["makespan_s"],
+        f"govern_{name}_energy_j": summary["governed"]["energy_j"],
+        f"govern_{name}_ticks": stats["ticks"],
+        f"govern_{name}_moves": stats["moves"],
+        f"govern_{name}_max_total_cap_w": stats["max_total_cap_w"],
+        f"govern_{name}_safe_mode": stats["safe_mode"],
+        f"govern_{name}_budget_respected": bool(audit["budget_respected"]),
+        f"govern_{name}_passed": gov.passed,
+        f"govern_{name}_wall_s": wall,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=Path("BENCH_govern.json"))
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--budget", type=float, default=400.0,
+                        help="global watt budget shared by all scenarios")
+    parser.add_argument("--fault-preset", default="kill-throttle",
+                        help="preset for the faulted scenario")
+    args = parser.parse_args(argv)
+
+    none = FaultPlan(name="none")
+    payload = {
+        "bench": "govern",
+        "govern_platform": PLATFORM,
+        "govern_seed": args.seed,
+        "govern_budget_w": args.budget,
+        "govern_fault_preset": args.fault_preset,
+    }
+    payload.update(run_scenario("steady", none, "steady",
+                                args.seed, args.budget))
+    payload.update(run_scenario("shift", none, "shift",
+                                args.seed, args.budget))
+    payload.update(run_scenario(
+        "fault", preset_plan(args.fault_preset, seed=args.seed),
+        "shift", args.seed, args.budget))
+
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

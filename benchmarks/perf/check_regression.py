@@ -45,7 +45,18 @@ The ``--service`` flag gates a ``BENCH_service.json`` capture (from
 generous so runner speed cannot flip it), the identical-query burst must
 have performed **exactly one** underlying computation (the coalescing
 contract — machine-independent), and the warm answer must be byte-identical
-to the cold one.  Both modes can run in one invocation.
+to the cold one.
+
+The ``--govern`` flag gates a ``BENCH_govern.json`` capture (from
+``bench_govern.py``): fault-free steady, governing must cost at most
+``GOVERN_STEADY_MAKESPAN_CEILING_PCT`` makespan over the best static
+configuration; under the fault-free shifting mix the governor must *beat*
+static on energy (the static ``B`` states are wrong for phase 2 — that
+win is the feature's claim); and in every scenario, faulted included, the
+audit must pass with the budget respected and no fault-free safe-mode
+entry.  All govern numbers are simulated-clock measurements of seeded
+deterministic runs, so they are machine-independent and compared raw.
+All modes can run in one invocation.
 
 Usage (what CI runs, with instrumentation off by construction)::
 
@@ -54,6 +65,9 @@ Usage (what CI runs, with instrumentation off by construction)::
 
     PYTHONPATH=src python benchmarks/perf/bench_service.py --out BENCH_service.json
     python benchmarks/perf/check_regression.py --service BENCH_service.json
+
+    PYTHONPATH=src python benchmarks/perf/bench_govern.py --out BENCH_govern.json
+    python benchmarks/perf/check_regression.py --govern BENCH_govern.json
 
 Exit code 0 = within budget, 1 = regression, 2 = malformed input.
 """
@@ -124,6 +138,27 @@ SERVICE_WARM_P99_CEILING_MS = 50.0
 #: contract is "exactly one computation", which makes the floor simply the
 #: burst size itself — machine-independent, no normalisation.
 SERVICE_COALESCING_FLOOR = 1.0  # computations allowed per identical burst
+
+#: Metrics a ``BENCH_govern.json`` capture must carry.  The audit/safe-mode
+#: booleans are checked separately (``validate`` wants numerics).
+GOVERN_REQUIRED_METRICS = (
+    "govern_budget_w",
+    "govern_steady_makespan_pct",
+    "govern_steady_energy_pct",
+    "govern_shift_makespan_pct",
+    "govern_shift_energy_pct",
+    "govern_fault_makespan_pct",
+)
+
+#: Maximum fault-free-steady makespan cost of governing, in percent over
+#: the static-best baseline (ISSUE: "governed makespan <= 1.02x
+#: static-best fault-free").  Simulated time — deterministic per (seed,
+#: plan) — so no runner-noise slack is needed; measured -2.15 % (the
+#: governor's phase-aware split actually beats the whole-run static pick).
+GOVERN_STEADY_MAKESPAN_CEILING_PCT = 2.0
+
+#: The three scenarios a govern capture reports, in bench order.
+GOVERN_SCENARIOS = ("steady", "shift", "fault")
 
 
 class MalformedInput(ValueError):
@@ -332,6 +367,69 @@ def check_service(current: dict) -> list[str]:
     return failures
 
 
+def check_govern(current: dict) -> list[str]:
+    """Gate a ``bench_govern.py`` capture (empty = pass).
+
+    Every govern number is a simulated-clock measurement of a seeded
+    deterministic run, so all checks are raw and machine-independent —
+    no baseline document, no machine-speed normalisation.
+    """
+    validate(current, "govern", GOVERN_REQUIRED_METRICS)
+    failures: list[str] = []
+
+    steady_mk = current["govern_steady_makespan_pct"]
+    print(
+        f"govern steady makespan: {steady_mk:+.2f}% vs static-best "
+        f"(ceiling {GOVERN_STEADY_MAKESPAN_CEILING_PCT:+.2f}%, "
+        f"energy {current['govern_steady_energy_pct']:+.2f}%)"
+    )
+    if steady_mk > GOVERN_STEADY_MAKESPAN_CEILING_PCT:
+        failures.append(
+            f"fault-free steady governing costs {steady_mk:+.2f}% makespan, "
+            f"over the {GOVERN_STEADY_MAKESPAN_CEILING_PCT:.2f}% ceiling "
+            "(governed must stay within 1.02x static-best)"
+        )
+
+    shift_en = current["govern_shift_energy_pct"]
+    print(
+        f"govern shift energy: {shift_en:+.2f}% vs static-best "
+        f"(must be < 0; makespan "
+        f"{current['govern_shift_makespan_pct']:+.2f}%)"
+    )
+    if shift_en >= 0.0:
+        failures.append(
+            f"governed run spent {shift_en:+.2f}% energy vs static under "
+            "the shifting mix; the phase-aware re-split must beat the "
+            "phase-1-only static B states"
+        )
+
+    for name in GOVERN_SCENARIOS:
+        if current.get(f"govern_{name}_budget_respected") is not True:
+            failures.append(
+                f"{name}: governed cap total exceeded the budget beyond "
+                "tolerance (or the capture omitted the audit flag)"
+            )
+        if current.get(f"govern_{name}_passed") is not True:
+            failures.append(
+                f"{name}: the resilience audit failed (or the capture "
+                "omitted the verdict)"
+            )
+    for name in ("steady", "shift"):
+        if current.get(f"govern_{name}_safe_mode") is not False:
+            failures.append(
+                f"{name}: governor entered safe mode on a fault-free run "
+                "(or the capture omitted the flag)"
+            )
+    mk = current["govern_fault_makespan_pct"]
+    print(
+        f"govern faulted ({current.get('govern_fault_preset', '?')}): "
+        f"makespan {mk:+.2f}%, energy "
+        f"{current.get('govern_fault_energy_pct', float('nan')):+.2f}% — "
+        "evidence only; gated on audit/budget, not magnitude"
+    )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", type=Path, nargs="?", default=None,
@@ -354,9 +452,14 @@ def main(argv=None) -> int:
         "--service", type=Path, default=None, metavar="BENCH_SERVICE_JSON",
         help="also (or only) gate a bench_service.py capture",
     )
+    parser.add_argument(
+        "--govern", type=Path, default=None, metavar="BENCH_GOVERN_JSON",
+        help="also (or only) gate a bench_govern.py capture",
+    )
     args = parser.parse_args(argv)
-    if args.current is None and args.service is None:
-        parser.error("nothing to check: pass BENCH_perf.json and/or --service")
+    if args.current is None and args.service is None and args.govern is None:
+        parser.error("nothing to check: pass BENCH_perf.json, --service "
+                     "and/or --govern")
 
     def load(path: Path, source: str) -> dict:
         doc = json.loads(path.read_text())
@@ -380,6 +483,8 @@ def main(argv=None) -> int:
                 failures += check_speedup(baseline, pre)
         if args.service is not None:
             failures += check_service(load(args.service, "service"))
+        if args.govern is not None:
+            failures += check_govern(load(args.govern, "govern"))
     except MalformedInput as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -11,6 +11,7 @@ Three families of commands::
     repro report runs/hl                              # audit a traced run
     repro watch runs/hl --follow                      # live dashboard over a stream
     repro chaos --preset kill-throttle                # fault-injected run + audit
+    repro govern --preset blackout --mix shift        # governed vs static-best
     repro serve --cache-dir .repro-cache              # cap-advisor HTTP service
 
 Any run-producing command accepts ``--spans FILE`` to record a span trace
@@ -215,6 +216,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the run report after the chaos run")
     p.add_argument("--stream", action="store_true",
                    help="stream the faulted run's events.jsonl live "
+                   "(requires --outdir)")
+    _add_cache_args(p)
+    _add_spans_arg(p)
+
+    p = sub.add_parser(
+        "govern",
+        help="compare the online power-budget governor against the best "
+        "static cap config under one watt budget and a fault plan",
+    )
+    p.add_argument("--platform", default="24-Intel-2-V100")
+    p.add_argument("--op", choices=["gemm", "potrf"], default="gemm")
+    p.add_argument("--precision", choices=["single", "double"], default="double")
+    p.add_argument("--scale", choices=SCALES, default="tiny")
+    p.add_argument("--scheduler", default="dmdas")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--budget", type=float, default=None, metavar="W",
+                   help="global watt budget (default: 80%% of the "
+                   "platform's cap-max sum)")
+    p.add_argument("--allocator", default="efficiency",
+                   help="budget split policy (repro govern --allocator help)")
+    p.add_argument("--mix", choices=["steady", "shift"], default="steady",
+                   help="'shift' appends a second workload phase the "
+                   "static config was not derived for")
+    group = p.add_mutually_exclusive_group()
+    group.add_argument("--plan", default=None, metavar="FILE",
+                       help="JSON fault plan (see docs/resilience.md)")
+    group.add_argument("--preset", default="none",
+                       help="named fault plan (repro govern --preset help)")
+    p.add_argument("--outdir", default=None, metavar="DIR",
+                   help="write govern.json + faults.jsonl + trace artefacts")
+    p.add_argument("--power-period", type=float, default=0.005, metavar="S")
+    p.add_argument("--stream", action="store_true",
+                   help="stream the governed run's events.jsonl live "
                    "(requires --outdir)")
     _add_cache_args(p)
     _add_spans_arg(p)
@@ -455,6 +489,46 @@ def _cmd_chaos(args) -> int:
     return 0 if chaos.passed else 1
 
 
+def _cmd_govern(args) -> int:
+    from repro.cluster.budget import ALLOCATORS
+    from repro.faults.plan import PRESET_NAMES, FaultPlan, preset_plan
+    from repro.govern import render_govern_summary, run_govern
+
+    if args.plan is None and args.preset == "help":
+        for name in PRESET_NAMES:
+            print(name)
+        return 0
+    if args.allocator == "help":
+        for name in sorted(ALLOCATORS):
+            print(name)
+        return 0
+    if args.stream and args.outdir is None:
+        print("repro govern: --stream requires --outdir", file=sys.stderr)
+        return 2
+    if args.plan is not None:
+        plan = FaultPlan.load(args.plan)
+    elif args.preset == "none":
+        plan = FaultPlan(name="none")
+    else:
+        plan = preset_plan(args.preset, seed=args.seed)
+    cache = _open_cache(args)
+    gov = run_govern(
+        args.platform, args.op, args.precision, plan,
+        budget_w=args.budget, mix=args.mix, outdir=args.outdir,
+        scheduler=args.scheduler, seed=args.seed, scale=args.scale,
+        allocator=args.allocator, power_period_s=args.power_period,
+        cache=cache, stream=args.stream,
+    )
+    sys.stdout.write(render_govern_summary(gov.summary))
+    _emit_cache_line(cache)
+    if gov.outdir is not None:
+        sys.stdout.write(
+            f"wrote {gov.outdir}: govern.json faults.jsonl manifest.json "
+            f"result.json decisions.jsonl events.jsonl trace.json metrics.prom\n"
+        )
+    return 0 if gov.passed else 1
+
+
 def _cmd_report(args) -> int:
     from repro.obs.report import render_report
 
@@ -565,6 +639,8 @@ def _dispatch(args) -> int:
         return _cmd_trace(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "govern":
+        return _cmd_govern(args)
     if args.command == "report":
         return _cmd_report(args)
     if args.command == "watch":

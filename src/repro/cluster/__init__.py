@@ -13,16 +13,24 @@ study:
 """
 
 from repro.cluster.budget import (
+    ALLOCATORS,
+    allocate_efficiency,
     allocate_uniform,
     allocate_waterfill,
     best_efficiency_allocation,
+    device_best_cap,
+    get_allocator,
 )
 from repro.cluster.farm import FarmGPU, GPUFarm
 
 __all__ = [
+    "ALLOCATORS",
+    "allocate_efficiency",
     "allocate_uniform",
     "allocate_waterfill",
     "best_efficiency_allocation",
+    "device_best_cap",
+    "get_allocator",
     "FarmGPU",
     "GPUFarm",
 ]

@@ -5,38 +5,67 @@ range); ``allocate_waterfill`` greedily gives each next watt-quantum to the
 GPU with the highest *marginal throughput*, which equalises marginal
 Gflop/s-per-watt across devices — the classic water-filling optimum for
 concave throughput curves, and exactly what a heterogeneous farm needs
-(A100s deserve more of the budget than V100s).
+(A100s deserve more of the budget than V100s).  ``allocate_efficiency``
+water-fills the same way but stops each device at its own best-efficiency
+cap: surplus budget above the farm's collective sweet spot is deliberately
+left unspent, because watts past ``P_best`` buy throughput at a worse
+Gflop/s/W rate than they cost (the cluster-level restatement of the paper's
+``B`` state).
+
+Every allocator takes anything farm-shaped: an object with a ``gpus``
+sequence whose members expose ``cap_range`` (and, for the throughput-aware
+allocators, ``throughput(cap_w)``/``efficiency(cap_w)``), plus a
+``min_budget()`` total.  :class:`repro.cluster.farm.GPUFarm` is the analytic
+implementation; the online governor (:mod:`repro.govern`) feeds in a live
+view of a node's devices.
+
+``ALLOCATORS`` is the pluggable registry the governor and CLI resolve
+policy names through.
 """
 
 from __future__ import annotations
 
-from repro.cluster.farm import GPUFarm
+import math
+from typing import Callable, Protocol, Sequence
+
+#: Absolute slack allowed between ``sum(allocation)`` and the budget —
+#: float accumulation error, never a real watt.
+BUDGET_TOLERANCE_W = 1e-6
 
 
-def allocate_uniform(farm: GPUFarm, budget_w: float) -> list[float]:
+class FarmLike(Protocol):
+    """Structural contract every allocator operates on."""
+
+    gpus: Sequence
+
+    def min_budget(self) -> float: ...
+
+
+def allocate_uniform(farm: FarmLike, budget_w: float) -> list[float]:
     """Equal split, clamped per device; surplus recycled to unclamped GPUs."""
     _check_budget(farm, budget_w)
     caps = [g.cap_range[0] for g in farm.gpus]
     remaining = budget_w - sum(caps)
     open_idx = list(range(len(farm.gpus)))
-    while remaining > 1e-6 and open_idx:
+    while remaining > BUDGET_TOLERANCE_W and open_idx:
         share = remaining / len(open_idx)
-        closed = []
+        closed: set[int] = set()
         for i in open_idx:
             hi = farm.gpus[i].cap_range[1]
             take = min(share, hi - caps[i])
             caps[i] += take
             remaining -= take
             if hi - caps[i] < 1e-9:
-                closed.append(i)
+                closed.add(i)
         if not closed and share < 1e-9:
             break
-        open_idx = [i for i in open_idx if i not in closed]
-    return caps
+        if closed:
+            open_idx = [i for i in open_idx if i not in closed]
+    return _clamp_to_budget(farm, caps, budget_w)
 
 
 def allocate_waterfill(
-    farm: GPUFarm, budget_w: float, step_w: float = 5.0
+    farm: FarmLike, budget_w: float, step_w: float = 5.0
 ) -> list[float]:
     """Greedy marginal-throughput water-filling in ``step_w`` quanta."""
     _check_budget(farm, budget_w)
@@ -45,7 +74,7 @@ def allocate_waterfill(
     caps = [g.cap_range[0] for g in farm.gpus]
     base = [g.throughput(c) for g, c in zip(farm.gpus, caps)]
     remaining = budget_w - sum(caps)
-    while remaining > 1e-6:
+    while remaining > BUDGET_TOLERANCE_W:
         best_i, best_gain, best_take = -1, 0.0, 0.0
         for i, gpu in enumerate(farm.gpus):
             hi = gpu.cap_range[1]
@@ -60,31 +89,124 @@ def allocate_waterfill(
         caps[best_i] += best_take
         base[best_i] = farm.gpus[best_i].throughput(caps[best_i])
         remaining -= best_take
-    return caps
+    return _clamp_to_budget(farm, caps, budget_w)
 
 
-def best_efficiency_allocation(farm: GPUFarm) -> list[float]:
+def allocate_efficiency(
+    farm: FarmLike, budget_w: float, step_w: float = 5.0
+) -> list[float]:
+    """Water-fill toward each device's best-efficiency cap, never past it.
+
+    With budget to spare this lands every GPU on its own continuous
+    ``P_best``; under pressure it degrades exactly like
+    :func:`allocate_waterfill` below the sweet spots.  Surplus watts above
+    ``sum(P_best)`` stay unspent — they would cost more energy than the
+    throughput they buy is worth.
+    """
+    _check_budget(farm, budget_w)
+    if step_w <= 0:
+        raise ValueError("step must be positive")
+    ceilings = [device_best_cap(g, step_w=max(1.0, step_w / 2)) for g in farm.gpus]
+    capped = _CeilingView(farm, ceilings)
+    return _clamp_to_budget(farm, allocate_waterfill(capped, budget_w, step_w), budget_w)
+
+
+def best_efficiency_allocation(farm: FarmLike) -> list[float]:
     """Ignore the budget: run every GPU at its own best-efficiency cap.
 
     The cluster-level restatement of the paper's BBBB configuration.
     """
-    caps = []
-    for gpu in farm.gpus:
+    return [device_best_cap(gpu) for gpu in farm.gpus]
+
+
+def device_best_cap(gpu, step_w: float = 4.0) -> float:
+    """One device's best Gflop/s/W cap, scanned over its range."""
+    lo, hi = gpu.cap_range
+    best_c, best_e = hi, -1.0
+    steps = max(1, int((hi - lo) / step_w))
+    for k in range(steps + 1):
+        c = lo + (hi - lo) * k / steps
+        e = gpu.efficiency(c)
+        if e > best_e:
+            best_c, best_e = c, e
+    return best_c
+
+
+class _CeilingGPU:
+    """One farm GPU with its cap range clipped to an allocation ceiling."""
+
+    __slots__ = ("_gpu", "cap_range")
+
+    def __init__(self, gpu, ceiling_w: float) -> None:
+        self._gpu = gpu
         lo, hi = gpu.cap_range
-        best_c, best_e = hi, -1.0
-        steps = max(1, int((hi - lo) / 4.0))
-        for k in range(steps + 1):
-            c = lo + (hi - lo) * k / steps
-            e = gpu.efficiency(c)
-            if e > best_e:
-                best_c, best_e = c, e
-        caps.append(best_c)
-    return caps
+        self.cap_range = (lo, min(hi, max(lo, ceiling_w)))
+
+    def throughput(self, cap_w: float) -> float:
+        return self._gpu.throughput(cap_w)
 
 
-def _check_budget(farm: GPUFarm, budget_w: float) -> None:
+class _CeilingView:
+    """A farm view whose devices cannot be allocated past their ceilings."""
+
+    def __init__(self, farm: FarmLike, ceilings: Sequence[float]) -> None:
+        self.gpus = [_CeilingGPU(g, c) for g, c in zip(farm.gpus, ceilings)]
+
+    def min_budget(self) -> float:
+        return sum(g.cap_range[0] for g in self.gpus)
+
+
+def _check_budget(farm: FarmLike, budget_w: float) -> None:
+    if not isinstance(budget_w, (int, float)) or isinstance(budget_w, bool):
+        raise ValueError(f"budget must be a number, got {budget_w!r}")
+    if not math.isfinite(budget_w):
+        raise ValueError(f"budget must be finite, got {budget_w!r}")
+    if budget_w < 0:
+        raise ValueError(f"budget must be non-negative, got {budget_w!r}")
     if budget_w < farm.min_budget() - 1e-9:
         raise ValueError(
             f"budget {budget_w:.0f} W below the farm's minimum "
             f"{farm.min_budget():.0f} W (caps cannot go lower)"
         )
+
+
+def _clamp_to_budget(
+    farm: FarmLike, caps: list[float], budget_w: float
+) -> list[float]:
+    """Guarantee ``sum(caps) <= budget_w + BUDGET_TOLERANCE_W``.
+
+    The allocators' arithmetic can overshoot by accumulated float error;
+    any real excess is shaved off devices with headroom above their minimum
+    cap, highest-cap first, so the result is always a valid allocation.
+    """
+    excess = sum(caps) - budget_w
+    if excess <= BUDGET_TOLERANCE_W:
+        return caps
+    order = sorted(range(len(caps)), key=lambda i: caps[i], reverse=True)
+    for i in order:
+        lo = farm.gpus[i].cap_range[0]
+        give = min(excess, caps[i] - lo)
+        if give > 0:
+            caps[i] -= give
+            excess -= give
+        if excess <= BUDGET_TOLERANCE_W:
+            break
+    return caps
+
+
+#: Pluggable allocation policies (the governor's ``--allocator`` choices).
+ALLOCATORS: dict[str, Callable[..., list[float]]] = {
+    "uniform": allocate_uniform,
+    "waterfill": allocate_waterfill,
+    "efficiency": allocate_efficiency,
+}
+
+
+def get_allocator(name: str) -> Callable[..., list[float]]:
+    """Resolve an allocator by registry name (clear error on a typo)."""
+    try:
+        return ALLOCATORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown allocator {name!r}; known: {', '.join(sorted(ALLOCATORS))}"
+        ) from None

@@ -24,6 +24,10 @@ class FarmGPU:
     model: str
     kernel: GemmKernel
     device: GPUDevice = field(init=False)
+    # Per-cap memo: the analytic curves are pure functions of the cap, and
+    # iterative allocators (water-filling, the online governor's tick loop)
+    # re-evaluate the same quantized caps thousands of times.
+    _memo: dict = field(init=False, repr=False, default_factory=dict)
 
     def __post_init__(self) -> None:
         spec = gpu_spec(self.model)
@@ -34,18 +38,28 @@ class FarmGPU:
         spec = self.device.spec
         return spec.cap_min_w, spec.cap_max_w
 
+    def _at(self, cap_w: float) -> tuple[float, float]:
+        entry = self._memo.get(cap_w)
+        if entry is None:
+            self.device.set_power_limit(cap_w)
+            entry = (
+                self.kernel.gflops_on_gpu(self.device),
+                self.kernel.power_on_gpu(self.device),
+            )
+            self._memo[cap_w] = entry
+        return entry
+
     def throughput(self, cap_w: float) -> float:
         """Gflop/s sustained at a cap."""
-        self.device.set_power_limit(cap_w)
-        return self.kernel.gflops_on_gpu(self.device)
+        return self._at(cap_w)[0]
 
     def power(self, cap_w: float) -> float:
         """Average draw at a cap (below the cap for generous budgets)."""
-        self.device.set_power_limit(cap_w)
-        return self.kernel.power_on_gpu(self.device)
+        return self._at(cap_w)[1]
 
     def efficiency(self, cap_w: float) -> float:
-        return self.throughput(cap_w) / self.power(cap_w)
+        gflops, watts = self._at(cap_w)
+        return gflops / watts
 
 
 class GPUFarm:

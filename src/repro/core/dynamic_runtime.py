@@ -15,12 +15,68 @@ heap until the run drains.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.hardware.node import Node
 from repro.runtime.engine import RuntimeSystem
 from repro.runtime.worker import GPUWorker
 from repro.sim import Simulator
+from repro.sim.engine import EventHandle
+
+
+class PeriodicController:
+    """Sim-clock tick loop shared by the online cap governors.
+
+    Subclasses implement :meth:`on_tick`; the base class owns the re-arm
+    discipline: ticks ride cancellable event handles, re-arm only while the
+    bound runtime has pending tasks, and can be cancelled at the exact
+    completion event (via :meth:`stop`) so a pending tick never pads the
+    measured makespan — the same rule :class:`repro.faults.recovery.
+    RecoveryManager` applies to its probe/backoff events.  :meth:`resume`
+    re-arms the chain for a subsequent phase of a multi-graph scenario.
+    """
+
+    def __init__(self, runtime: RuntimeSystem, period_s: float) -> None:
+        if period_s <= 0:
+            raise ValueError(f"tick period must be positive, got {period_s}")
+        self.runtime = runtime
+        self.sim: Simulator = runtime.sim
+        self.period_s = period_s
+        self.last_tick_t: float = self.sim.now
+        self.n_ticks = 0
+        self._tick_handle: Optional[EventHandle] = None
+
+    def start(self) -> None:
+        """Arm the first tick; call immediately before ``runtime.run``."""
+        self._arm()
+
+    def resume(self) -> None:
+        """Re-arm for the next phase (no-op if a tick is already pending)."""
+        if self._tick_handle is None:
+            self._arm()
+
+    def stop(self) -> None:
+        """Cancel the pending tick (safe at the run-completion event)."""
+        if self._tick_handle is not None:
+            self._tick_handle.cancel()
+            self._tick_handle = None
+
+    def on_tick(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _arm(self) -> None:
+        self._tick_handle = self.sim.schedule(self.period_s, self._tick)
+
+    def _tick(self) -> None:
+        self._tick_handle = None
+        if self.runtime.pending_tasks <= 0:
+            return
+        self.last_tick_t = self.sim.now
+        self.n_ticks += 1
+        self.on_tick()
+        if self.runtime.pending_tasks > 0:
+            self._arm()
 
 
 @dataclass
@@ -33,26 +89,31 @@ class _GPUState:
     last_energy: float = 0.0
 
 
-@dataclass
-class RuntimeCapGovernor:
+class RuntimeCapGovernor(PeriodicController):
     """Per-GPU online hill-climbing governor over a running RuntimeSystem."""
 
-    node: Node
-    runtime: RuntimeSystem
-    period_s: float = 0.4
-    step_w: float = 20.0
-    degrade_tolerance: float = 0.03
-    smoothing: float = 0.5
-    history: list[tuple[float, list[float]]] = field(default_factory=list)
-    _states: dict[int, _GPUState] = field(default_factory=dict)
-
-    def __post_init__(self) -> None:
-        self._sim: Simulator = self.runtime.sim
+    def __init__(
+        self,
+        node: Node,
+        runtime: RuntimeSystem,
+        period_s: float = 0.4,
+        step_w: float = 20.0,
+        degrade_tolerance: float = 0.03,
+        smoothing: float = 0.5,
+    ) -> None:
+        super().__init__(runtime, period_s)
+        self.node = node
+        self.step_w = step_w
+        self.degrade_tolerance = degrade_tolerance
+        self.smoothing = smoothing
+        self.history: list[tuple[float, list[float]]] = []
+        self._sim: Simulator = runtime.sim
         self._gpu_workers = {
-            w.gpu.index: w for w in self.runtime.workers if isinstance(w, GPUWorker)
+            w.gpu.index: w for w in runtime.workers if isinstance(w, GPUWorker)
         }
-        for gpu in self.node.gpus:
-            self._states[gpu.index] = _GPUState()
+        self._states: dict[int, _GPUState] = {
+            gpu.index: _GPUState() for gpu in node.gpus
+        }
 
     def start(self) -> None:
         """Arm the first tick; call immediately before ``runtime.run``."""
@@ -62,9 +123,9 @@ class RuntimeCapGovernor:
             state.last_energy = gpu.energy_j()
             state.smooth_eff = None
             state.best_cap = gpu.power_limit_w
-        self._sim.schedule(self.period_s, self._tick)
+        super().start()
 
-    def _tick(self) -> None:
+    def on_tick(self) -> None:
         caps = []
         for gpu in self.node.gpus:
             state = self._states[gpu.index]
@@ -96,8 +157,6 @@ class RuntimeCapGovernor:
                     gpu.set_power_limit(cap)
             caps.append(gpu.power_limit_w)
         self.history.append((self._sim.now, caps))
-        if self.runtime.pending_tasks > 0:
-            self._sim.schedule(self.period_s, self._tick)
 
     def final_caps(self) -> list[float]:
         return [gpu.power_limit_w for gpu in self.node.gpus]

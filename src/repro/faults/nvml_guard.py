@@ -89,7 +89,15 @@ def apply_caps_verified(
     retries: int = 3,
     strict: bool = True,
 ) -> list[CapReport]:
-    """Verified per-GPU cap application (the hardened ``set_gpu_caps``)."""
+    """Verified per-GPU cap application (the hardened ``set_gpu_caps``).
+
+    With ``strict=False`` a device that exhausts its transient-retry budget
+    is *reported* (``verified=False``, ``applied_w`` = the limit the driver
+    actually holds) instead of aborting the application mid-node — one
+    wedged driver must not leave the remaining GPUs uncapped.  Range
+    violations (``NVML_ERROR_INVALID_ARGUMENT``) always raise: those are
+    caller bugs, not hardware weather.
+    """
     if len(watts) != len(node.gpus):
         raise ValueError(f"expected {len(node.gpus)} caps, got {len(watts)}")
     nvml.nvmlInit(node)
@@ -97,9 +105,15 @@ def apply_caps_verified(
     for index, requested_w in enumerate(watts):
         handle = nvml.nvmlDeviceGetHandleByIndex(index)
         limit_mw = int(round(requested_w * 1000))
-        applied_mw, attempts = set_power_limit_verified(
-            handle, limit_mw, retries=retries, strict=strict
-        )
+        try:
+            applied_mw, attempts = set_power_limit_verified(
+                handle, limit_mw, retries=retries, strict=strict
+            )
+        except nvml.NVMLError as exc:
+            if strict or exc.value != nvml.NVML_ERROR_UNKNOWN:
+                raise
+            applied_mw = nvml.nvmlDeviceGetPowerManagementLimit(handle)
+            attempts = retries + 1
         reports.append(
             CapReport(
                 device=f"gpu{index}",

@@ -121,6 +121,17 @@ class RecoveryManager:
         self._scheduler: Optional["Scheduler"] = None
         self._n_tasks = 0
         self._n_finished = 0
+        #: Co-resident controllers (e.g. the power-budget governor) that want
+        #: to ride the recovery lifecycle.  Listeners may implement any of
+        #: ``on_run_complete()``, ``on_worker_excluded(worker)``,
+        #: ``on_worker_readmitted(worker)``; missing methods are skipped.
+        self.listeners: list[Any] = []
+
+    def _notify(self, method: str, *args) -> None:
+        for listener in self.listeners:
+            fn = getattr(listener, method, None)
+            if fn is not None:
+                fn(*args)
 
     # ----------------------------------------------------------- engine hooks
 
@@ -135,6 +146,16 @@ class RecoveryManager:
         for handle in self._pending:
             handle.cancel()
         self._pending.clear()
+        # Multi-phase scenarios: a worker still dead from an earlier run must
+        # not receive placements from this run's fresh scheduler (dispatch
+        # skips unavailable workers, so its queue would never drain).
+        # Re-exclude it and resume probing for re-admission.
+        for worker in self.runtime.workers:
+            if not worker.available:
+                scheduler.exclude_worker(worker)
+                self._event("re-exclude", target=worker.name,
+                            detail="still dead at run start")
+                self._schedule_probe(worker, self.probe_delay_s)
         if self.injector is not None and not self.injector.armed:
             self.injector.arm()
 
@@ -185,6 +206,7 @@ class RecoveryManager:
         self.n_quarantined += 1
         self._count("repro_worker_quarantines_total",
                     "Workers excluded from placement (death or hang).")
+        self._notify("on_worker_excluded", worker)
         self._schedule_probe(worker, self.probe_delay_s)
 
     def on_worker_hang(self, worker: WorkerType, extra_s: float) -> None:
@@ -260,6 +282,7 @@ class RecoveryManager:
         self.n_quarantined += 1
         self._count("repro_worker_quarantines_total",
                     "Workers excluded from placement (death or hang).")
+        self._notify("on_worker_excluded", worker)
         self._schedule_probe(worker, self.probe_delay_s)
 
     def _schedule_probe(self, worker: WorkerType, delay: float) -> None:
@@ -285,6 +308,7 @@ class RecoveryManager:
                     "Workers re-admitted to placement after a probe.")
         self._event("readmit", target=worker.name)
         self._annotate(f"{worker.name} re-admitted to placement")
+        self._notify("on_worker_readmitted", worker)
         parked, self._parked = self._parked, []
         for task in parked:
             self._event("unpark", task=task.label)
@@ -316,6 +340,7 @@ class RecoveryManager:
         self._pending.clear()
         if self.injector is not None:
             self.injector.disarm()
+        self._notify("on_run_complete")
 
     def _later(self, delay: float, fn, *args) -> None:
         """Schedule a cancellable recovery event that unregisters on fire."""

@@ -31,6 +31,7 @@ METRICS_FILENAME = "metrics.prom"
 RESULT_FILENAME = "result.json"
 FAULTS_FILENAME = "faults.jsonl"
 CHAOS_FILENAME = "chaos.json"
+GOVERN_FILENAME = "govern.json"
 
 
 def iter_events(

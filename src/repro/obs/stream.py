@@ -39,7 +39,8 @@ EVENTS_STREAM_FILENAME = "events.jsonl"
 #: Event types worth pushing to disk immediately (rare; operators wait on
 #: them).  Bulk types (``interval``, ``decision``, ``power``) batch instead.
 FLUSH_NOW_TYPES = frozenset(
-    {"run_info", "run_start", "run_end", "anomaly", "fault", "annotation"}
+    {"run_info", "run_start", "run_end", "anomaly", "fault", "annotation",
+     "budget-move"}
 )
 
 
@@ -410,6 +411,11 @@ class OnlineAggregator:
         self.cache_lookups = 0
         self.anomalies: list[dict] = []
         self.faults: list[dict] = []
+        # governor state (from budget-move events): latest per-device caps,
+        # the global budget, and a transition counter per move kind
+        self.budget_w: Optional[float] = None
+        self.governed_caps: dict[str, float] = {}
+        self.budget_moves: dict[str, int] = {}
 
     # ------------------------------------------------------------- ingest
 
@@ -442,6 +448,14 @@ class OnlineAggregator:
             self.faults.append(event)
         elif etype == "anomaly":
             self.anomalies.append(event)
+        elif etype == "budget-move":
+            kind = event.get("kind", "move")
+            self.budget_moves[kind] = self.budget_moves.get(kind, 0) + 1
+            if "budget_w" in event:
+                self.budget_w = event["budget_w"]
+            caps = event.get("caps")
+            if caps:
+                self.governed_caps.update(caps)
         elif etype == "run_info":
             self.run_info = {
                 k: v for k, v in event.items() if k not in ("t", "type")
@@ -553,6 +567,9 @@ class OnlineAggregator:
             "cache_lookups": self.cache_lookups,
             "n_anomalies": len(self.anomalies),
             "n_faults": len(self.faults),
+            "budget_w": self.budget_w,
+            "governed_caps": dict(self.governed_caps),
+            "n_budget_moves": sum(self.budget_moves.values()),
         }
 
 
@@ -569,6 +586,7 @@ class WatchdogConfig:
         "cache_max_miss_rate",
         "imbalance_ratio",
         "imbalance_min_s",
+        "budget_tolerance_w",
     )
 
     def __init__(
@@ -582,6 +600,7 @@ class WatchdogConfig:
         cache_max_miss_rate: float = 0.5,
         imbalance_ratio: float = 4.0,
         imbalance_min_s: float = 0.05,
+        budget_tolerance_w: float = 0.5,
     ) -> None:
         self.eval_period_s = eval_period_s
         self.rearm_s = rearm_s
@@ -592,6 +611,7 @@ class WatchdogConfig:
         self.cache_max_miss_rate = cache_max_miss_rate
         self.imbalance_ratio = imbalance_ratio
         self.imbalance_min_s = imbalance_min_s
+        self.budget_tolerance_w = budget_tolerance_w
 
 
 class Watchdogs:
@@ -646,6 +666,7 @@ class Watchdogs:
         self._check_throttle_drift(t)
         self._check_cache_miss_storm(t)
         self._check_backlog_imbalance(t)
+        self._check_budget_violation(t)
 
     def on_interval(self, item: tuple) -> None:
         """Tuple fast lane — same rules as the dict path (which delegates
@@ -666,6 +687,7 @@ class Watchdogs:
         self._check_throttle_drift(t)
         self._check_cache_miss_storm(t)
         self._check_backlog_imbalance(t)
+        self._check_budget_violation(t)
 
     def on_intervals(self, items: list) -> None:
         """Batch form of :meth:`on_interval`: idle-gap stays edge-triggered
@@ -690,6 +712,7 @@ class Watchdogs:
         self._check_throttle_drift(t)
         self._check_cache_miss_storm(t)
         self._check_backlog_imbalance(t)
+        self._check_budget_violation(t)
 
     # ------------------------------------------------------------- raising
 
@@ -769,6 +792,25 @@ class Watchdogs:
                 "cache",
                 f"cache miss rate {miss_rate:.0%} over last {len(window)} lookups",
                 miss_rate=round(miss_rate, 4),
+            )
+
+    def _check_budget_violation(self, t: float) -> None:
+        """The governor's tracked caps sum past the global watt budget —
+        the one invariant a power-budget controller must never break.  The
+        governor treats this anomaly as its safe-mode trigger."""
+        budget = self.agg.budget_w
+        caps = self.agg.governed_caps
+        if budget is None or not caps:
+            return
+        total = sum(caps.values())
+        if total > budget + self.config.budget_tolerance_w:
+            self._fire(
+                t,
+                "budget-violation",
+                "governor",
+                f"caps total {total:.1f}W exceed budget {budget:.1f}W",
+                total_w=round(total, 3),
+                budget_w=round(budget, 3),
             )
 
     def _check_backlog_imbalance(self, t: float) -> None:

@@ -3,12 +3,17 @@
 import pytest
 
 from repro.cluster import (
+    ALLOCATORS,
     FarmGPU,
     GPUFarm,
+    allocate_efficiency,
     allocate_uniform,
     allocate_waterfill,
     best_efficiency_allocation,
+    device_best_cap,
+    get_allocator,
 )
+from repro.cluster.budget import BUDGET_TOLERANCE_W
 from repro.kernels.gemm import GemmKernel
 
 
@@ -107,3 +112,65 @@ def test_best_efficiency_beats_full_power_efficiency(hetero):
 def test_waterfill_step_validation(hetero):
     with pytest.raises(ValueError):
         allocate_waterfill(hetero, 800.0, step_w=0.0)
+
+
+# ------------------------------------------------------- degenerate inputs
+
+
+@pytest.mark.parametrize("name", sorted(ALLOCATORS))
+def test_single_gpu_farm(name):
+    farm = _farm(["V100-PCIE-32GB"])
+    lo, hi = farm.gpus[0].cap_range
+    caps = get_allocator(name)(farm, 200.0)
+    assert len(caps) == 1
+    assert lo - 1e-9 <= caps[0] <= hi + 1e-9
+    farm.validate_allocation(caps, 200.0)
+
+
+@pytest.mark.parametrize("name", sorted(ALLOCATORS))
+def test_budget_exactly_at_floor(name, hetero):
+    """budget == sum(cap_min): everyone pinned at the minimum, no error."""
+    caps = get_allocator(name)(hetero, hetero.min_budget())
+    assert caps == pytest.approx([g.cap_range[0] for g in hetero.gpus])
+
+
+@pytest.mark.parametrize("name", sorted(ALLOCATORS))
+def test_budget_above_ceiling_never_overshoots(name, hetero):
+    """budget >= sum(cap_max): nobody is pushed past their range."""
+    caps = get_allocator(name)(hetero, hetero.max_budget() + 1000.0)
+    for cap, gpu in zip(caps, hetero.gpus):
+        assert cap <= gpu.cap_range[1] + 1e-9
+
+
+@pytest.mark.parametrize("name", sorted(ALLOCATORS))
+@pytest.mark.parametrize("budget", [float("nan"), float("inf"), -5.0, "800"])
+def test_non_finite_budgets_rejected(name, hetero, budget):
+    with pytest.raises(ValueError):
+        get_allocator(name)(hetero, budget)
+
+
+def test_efficiency_leaves_surplus_unspent(hetero):
+    """Watts above the farm's collective sweet spot stay unspent."""
+    generous = hetero.max_budget() + 500.0
+    caps = allocate_efficiency(hetero, generous)
+    sweet = sum(device_best_cap(g) for g in hetero.gpus)
+    assert sum(caps) <= sweet + len(hetero.gpus) * 5.0 + BUDGET_TOLERANCE_W
+    for cap, gpu in zip(caps, hetero.gpus):
+        assert cap <= device_best_cap(gpu) + 5.0
+
+
+def test_efficiency_under_pressure_respects_budget(hetero):
+    tight = hetero.min_budget() + 40.0
+    caps = allocate_efficiency(hetero, tight)
+    hetero.validate_allocation(caps, tight)
+
+
+def test_get_allocator_unknown_name():
+    with pytest.raises(ValueError, match="unknown allocator"):
+        get_allocator("round-robin")
+
+
+def test_registry_names_are_callable(hetero):
+    for name, fn in ALLOCATORS.items():
+        caps = fn(hetero, 800.0)
+        hetero.validate_allocation(caps, 800.0), name

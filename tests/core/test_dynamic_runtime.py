@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.dynamic_runtime import RuntimeCapGovernor
+from repro.core.dynamic_runtime import PeriodicController, RuntimeCapGovernor
 from repro.hardware.catalog import build_platform
 from repro.linalg import assign_priorities, gemm_graph
 from repro.runtime import RuntimeSystem
@@ -96,3 +96,79 @@ def test_ewma_alpha_validation():
         HistoryModel(ewma_alpha=0.0)
     with pytest.raises(ValueError):
         HistoryModel(ewma_alpha=1.5)
+
+
+# --------------------------------------------------- PeriodicController
+
+
+class _Stub:
+    """Just enough runtime surface for the tick loop."""
+
+    def __init__(self):
+        self.sim = Simulator()
+        self.pending_tasks = 0
+
+
+class _Counter(PeriodicController):
+    def __init__(self, runtime, period_s=0.1):
+        super().__init__(runtime, period_s)
+        self.fired = []
+
+    def on_tick(self):
+        self.fired.append(self.sim.now)
+
+
+def test_periodic_controller_rejects_bad_period():
+    with pytest.raises(ValueError):
+        _Counter(_Stub(), period_s=0.0)
+
+
+def test_periodic_controller_ticks_while_work_pending():
+    stub = _Stub()
+    stub.pending_tasks = 1
+    ctl = _Counter(stub)
+    ctl.start()
+    stub.sim.run(until=0.55)
+    assert len(ctl.fired) == 5
+    assert ctl.n_ticks == 5
+    assert ctl.last_tick_t == pytest.approx(0.5)
+
+
+def test_periodic_controller_goes_quiet_when_run_drains():
+    """A pending tick past the last task must not fire on_tick — the same
+    no-makespan-padding rule the recovery manager follows."""
+    stub = _Stub()
+    stub.pending_tasks = 1
+    ctl = _Counter(stub)
+    ctl.start()
+    stub.sim.run(until=0.25)
+    stub.pending_tasks = 0
+    stub.sim.run(until=2.0)
+    assert len(ctl.fired) == 2  # t=0.1, t=0.2; the t=0.3 tick bailed
+
+
+def test_periodic_controller_stop_cancels_pending_tick():
+    stub = _Stub()
+    stub.pending_tasks = 1
+    ctl = _Counter(stub)
+    ctl.start()
+    ctl.stop()
+    stub.sim.run(until=1.0)
+    assert ctl.fired == []
+
+
+def test_periodic_controller_resume_rearms_between_phases():
+    stub = _Stub()
+    stub.pending_tasks = 1
+    ctl = _Counter(stub)
+    ctl.start()
+    stub.sim.run(until=0.15)
+    stub.pending_tasks = 0
+    stub.sim.run(until=1.0)  # phase 1 drained; chain went quiet
+    stub.pending_tasks = 1
+    ctl.resume()
+    stub.sim.run(until=1.25)
+    assert len(ctl.fired) == 3  # 0.1, then 1.1 and 1.2 after resume
+    ctl.resume()  # no-op: a tick is already pending
+    stub.sim.run(until=1.35)
+    assert len(ctl.fired) == 4

@@ -1,0 +1,125 @@
+"""AdvisorClient transport-retry behaviour (no live server needed).
+
+The retry loop is exercised by stubbing the single-shot transport, so the
+tests pin the policy — attempt counting, jittered backoff bounds,
+``Retry-After`` honoring — without real sockets or real sleeping.
+"""
+
+import random
+
+import pytest
+
+from repro.service.client import AdvisorClient, RetryPolicy, ServiceResponse
+
+
+def _response(status, headers=None):
+    return ServiceResponse(status=status, doc=None, text="",
+                           headers=headers or {})
+
+
+def _client(policy, outcomes, slept):
+    """A client whose transport replays ``outcomes`` (exceptions raise)."""
+    client = AdvisorClient(
+        retry=policy, rng=random.Random(7), sleep=slept.append
+    )
+    calls = []
+
+    def fake_once(method, path, body):
+        calls.append((method, path))
+        outcome = outcomes[min(len(calls) - 1, len(outcomes) - 1)]
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+    client._request_once = fake_once
+    client.calls = calls
+    return client
+
+
+def test_connection_reset_retried_until_success():
+    slept = []
+    client = _client(
+        RetryPolicy(max_attempts=4),
+        [ConnectionResetError(), ConnectionResetError(), _response(200)],
+        slept,
+    )
+    assert client.healthz().status == 200
+    assert len(client.calls) == 3
+    assert client.n_retries == 2
+
+
+def test_connection_failures_exhaust_and_raise():
+    slept = []
+    client = _client(
+        RetryPolicy(max_attempts=3), [ConnectionRefusedError()], slept
+    )
+    with pytest.raises(ConnectionRefusedError):
+        client.healthz()
+    assert len(client.calls) == 3
+
+
+def test_backoff_delays_are_jittered_and_bounded():
+    policy = RetryPolicy(max_attempts=5, backoff_base_s=0.1, backoff_cap_s=0.3)
+    slept = []
+    client = _client(policy, [ConnectionResetError()], slept)
+    with pytest.raises(ConnectionResetError):
+        client.healthz()
+    assert len(slept) == 4
+    # Full jitter: each delay in [0, min(cap, base * 2**(k-1))].
+    for k, delay in enumerate(slept, start=1):
+        assert 0.0 <= delay <= min(0.3, 0.1 * 2 ** (k - 1))
+
+
+def test_429_not_retried_by_default():
+    """Backpressure callers (and the 429 tests) see the raw status."""
+    slept = []
+    client = _client(RetryPolicy(), [_response(429), _response(200)], slept)
+    assert client.healthz().status == 429
+    assert len(client.calls) == 1
+    assert slept == []
+
+
+def test_429_retried_honoring_retry_after_when_opted_in():
+    policy = RetryPolicy(max_attempts=3, retry_statuses=(429,))
+    slept = []
+    client = _client(
+        policy,
+        [_response(429, {"retry-after": "0.25"}), _response(200)],
+        slept,
+    )
+    assert client.healthz().status == 200
+    assert slept == [0.25]
+
+
+def test_retry_after_clamped_to_cap():
+    policy = RetryPolicy(max_attempts=2, retry_statuses=(429,),
+                         retry_after_cap_s=1.5)
+    slept = []
+    client = _client(
+        policy,
+        [_response(429, {"retry-after": "3600"}), _response(200)],
+        slept,
+    )
+    assert client.healthz().status == 200
+    assert slept == [1.5]
+
+
+def test_unparseable_retry_after_falls_back_to_base():
+    policy = RetryPolicy(max_attempts=2, retry_statuses=(429,),
+                         backoff_base_s=0.05)
+    slept = []
+    client = _client(
+        policy,
+        [_response(429, {"retry-after": "soon"}), _response(200)],
+        slept,
+    )
+    assert client.healthz().status == 200
+    assert slept == [0.05]
+
+
+def test_retryable_status_exhausts_to_last_response():
+    policy = RetryPolicy(max_attempts=3, retry_statuses=(429,))
+    slept = []
+    client = _client(policy, [_response(429, {"retry-after": "0"})], slept)
+    assert client.healthz().status == 429
+    assert len(client.calls) == 3
