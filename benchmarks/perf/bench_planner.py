@@ -1,0 +1,298 @@
+"""Planner benchmark: emits ``BENCH_planner.json``.
+
+Measures what the analytic bound-and-prune planner eliminates — and proves
+it eliminated nothing that mattered.  Four legs:
+
+- **sweep leg** — every catalog (model, precision) cap sweep, analytic
+  replay vs the discrete-event ground truth (``simulated_sweep_gemm``).
+  Gated on *byte identity of every point* and on the planner running
+  **zero** sweep simulations where the old pipeline ran one per cap.
+- **config leg** — the Figs. 3/4 best-config scan (tiny scale, both
+  operations): exhaustive ``run_config_set`` + argmin vs ``plan_configs``.
+  Gated on byte-identical winner *and* metrics.
+- **H100 leg** — the 81-config ladder on the hypothetical 4xH100 node:
+  pruning evidence plus the ``audit_plan`` soundness verdict (every bound
+  holds, no pruned config beats the winner).
+- **govern / advisor legs** — the two downstream consumers: the governor's
+  static-best scan must match the historical inline loop float-for-float,
+  and a warm advisor probe must replay the cold advice byte-identically.
+
+Counting units are simulated kernel/config executions: one per cap point
+for sweeps (the old pipeline's cost), ``report.n_simulated`` for config
+scans.  The analytic side is additionally gated on constructing **zero**
+:class:`repro.sim.Simulator` instances (measured via ``SimCounter``, not
+assumed).  The headline gate is the pipeline ratio (old-world simulations
+/ planner simulations) with a 5x floor — on these grids the sweep
+elimination alone clears it.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_planner.py --out BENCH_planner.json
+    python benchmarks/perf/check_regression.py --planner BENCH_planner.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import repro.sim as sim_mod
+from repro.core.bestcap import best_cap_watts
+from repro.core.capconfig import CapConfig, CapStates, standard_configs
+from repro.core.planner import _rank, audit_plan, get_objective, plan_configs
+from repro.core.sweep import simulated_sweep_gemm, sweep_gemm
+from repro.core.tradeoff import OperationSpec, run_config_set
+from repro.experiments.platforms import (
+    PAPER_CPU_CAPS,
+    cap_states,
+    config_list,
+    operation_spec,
+)
+from repro.hardware.catalog import gpu_models, gpu_spec
+from repro.service.advisor import compute_advice, probe_advice
+from repro.service.protocol import AdviseRequest
+
+PLATFORM = "24-Intel-2-V100"
+H100_PLATFORM = "32-AMD-4-H100"
+H100_MODEL = "H100-SXM5-80GB"
+SCALE = "tiny"
+OBJECTIVE = "efficiency"
+
+
+class SimCounter:
+    """Counts every Simulator the code under measurement constructs."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._orig = None
+
+    def __enter__(self) -> "SimCounter":
+        self._orig = sim_mod.Simulator.__init__
+        counter = self
+
+        def counting_init(sim_self, *args, **kwargs):
+            counter.count += 1
+            counter._orig(sim_self, *args, **kwargs)
+
+        sim_mod.Simulator.__init__ = counting_init
+        return self
+
+    def __exit__(self, *exc) -> None:
+        sim_mod.Simulator.__init__ = self._orig
+
+
+def bench_sweeps(seed: int) -> dict:
+    """Analytic vs simulated cap sweeps for the whole catalog.
+
+    The old pipeline simulated one kernel execution per cap point, so the
+    exhaustive count is the total number of points across every
+    (model, precision) sweep.  The planner side is gated on constructing
+    **zero** Simulators (measured, not assumed).
+    """
+    combos = [
+        (model, 2880, precision)
+        for model in sorted(gpu_models())
+        for precision in ("double", "single")
+    ]
+    t0 = time.perf_counter()
+    with SimCounter() as planner_sims:
+        analytic = [sweep_gemm(m, n, p) for m, n, p in combos]
+    wall_analytic = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    simulated = [simulated_sweep_gemm(m, n, p) for m, n, p in combos]
+    wall_simulated = time.perf_counter() - t0
+
+    return {
+        "planner_sweep_point_sims_exhaustive": sum(len(p) for p in simulated),
+        "planner_sweep_point_sims_planner": planner_sims.count,
+        "planner_sweep_identical": analytic == simulated,
+        "planner_sweep_wall_exhaustive_s": wall_simulated,
+        "planner_sweep_wall_planner_s": wall_analytic,
+        "planner_sweep_speedup": wall_simulated / max(wall_analytic, 1e-9),
+    }
+
+
+def _exhaustive_winner(platform, spec, configs, states, objective, cpu_caps,
+                       seed):
+    obj = get_objective(objective)
+    metrics = run_config_set(
+        platform, spec, configs, states, seed=seed, cpu_caps=cpu_caps
+    )
+    order = {c.letters: i for i, c in enumerate(configs)}
+    winner = min(
+        metrics,
+        key=lambda lt: (_rank(obj, obj.score(metrics[lt])), order[lt]),
+    )
+    return winner, metrics[winner]
+
+
+def bench_configs(seed: int) -> dict:
+    """Figs. 3/4 best-config scan: exhaustive vs planner, both operations."""
+    cpu_caps = PAPER_CPU_CAPS[PLATFORM]
+    configs = config_list(PLATFORM)
+    out = {
+        "planner_config_sims_exhaustive": 0,
+        "planner_config_sims_planner": 0,
+        "planner_config_winner_identical": True,
+        "planner_config_metrics_identical": True,
+        "planner_config_n_pruned": 0,
+        "planner_config_wall_exhaustive_s": 0.0,
+        "planner_config_wall_planner_s": 0.0,
+    }
+    for op in ("gemm", "potrf"):
+        spec = operation_spec(PLATFORM, op, "double", SCALE)
+        states = cap_states(PLATFORM, op, "double", SCALE)
+
+        t0 = time.perf_counter()
+        winner, metrics = _exhaustive_winner(
+            PLATFORM, spec, configs, states, OBJECTIVE, cpu_caps, seed
+        )
+        out["planner_config_wall_exhaustive_s"] += time.perf_counter() - t0
+        out["planner_config_sims_exhaustive"] += len(configs)
+
+        t0 = time.perf_counter()
+        plan = plan_configs(
+            PLATFORM, spec, configs, states,
+            objective=OBJECTIVE, seed=seed, cpu_caps=cpu_caps,
+        )
+        out["planner_config_wall_planner_s"] += time.perf_counter() - t0
+        out["planner_config_sims_planner"] += plan.report.n_simulated
+        out["planner_config_n_pruned"] += plan.report.n_pruned
+        out["planner_config_winner_identical"] &= plan.winner == winner
+        out["planner_config_metrics_identical"] &= plan.metrics == metrics
+    return out
+
+
+def bench_h100(seed: int) -> dict:
+    """The 81-config ladder on the hypothetical 4xH100 node, audited."""
+    spec = OperationSpec(op="gemm", n=4 * 1440, nb=1440, precision="double")
+    gpu = gpu_spec(H100_MODEL)
+    states = CapStates(
+        h_w=gpu.cap_max_w,
+        b_w=best_cap_watts(H100_MODEL, "double", spec.nb),
+        l_w=gpu.cap_min_w,
+    )
+    # The full 3^4 product, not just the paper ladder: the widest grid the
+    # repo can pose, which is where bound-and-prune has room to act.
+    configs = [
+        CapConfig("".join(p)) for p in itertools.product("HBL", repeat=4)
+    ]
+
+    plan = plan_configs(
+        H100_PLATFORM, spec, configs, states, objective=OBJECTIVE, seed=seed
+    )
+    winner, metrics = _exhaustive_winner(
+        H100_PLATFORM, spec, configs, states, OBJECTIVE, None, seed
+    )
+    audit = audit_plan(
+        plan, H100_PLATFORM, spec, states, seed=seed, sample=5
+    )
+    return {
+        "planner_h100_n_configs": len(configs),
+        "planner_h100_sims_planner": plan.report.n_simulated,
+        "planner_h100_n_pruned": plan.report.n_pruned,
+        "planner_h100_winner": plan.winner,
+        "planner_h100_winner_identical": plan.winner == winner,
+        "planner_h100_metrics_identical": plan.metrics == metrics,
+        "planner_h100_bounds_sound": bool(audit["bounds_sound"]),
+        "planner_h100_unbeaten": audit["beaten_by"] == [],
+        "planner_h100_audit_sampled": audit["n_sampled"],
+    }
+
+
+def bench_govern(seed: int) -> dict:
+    """Static-best scan: planner delegate vs the historical inline loop."""
+    from repro.cluster.farm import FarmGPU, GPUFarm
+    from repro.core.planner import best_ladder_under_budget
+    from repro.kernels.gemm import GemmKernel
+
+    platform = "32-AMD-4-A100"
+    states = CapStates(h_w=400.0, b_w=216.0, l_w=100.0)
+    kernel = GemmKernel.square(5760, "double")
+    identical = True
+    for budget in (420.0, 700.0, 1000.0, 1600.0):
+        got = best_ladder_under_budget(platform, kernel, states, budget)
+        farm = GPUFarm([FarmGPU("A100-SXM4-40GB", kernel) for _ in range(4)])
+        best, best_eff = None, -1.0
+        for config in standard_configs(4):
+            watts = config.watts(states)
+            if sum(watts) > budget + 1e-6:
+                continue
+            eff = farm.total_efficiency(watts)
+            if eff > best_eff:
+                best, best_eff = (config, watts), eff
+        identical &= got == best
+    return {"planner_govern_static_identical": identical, "_seed": seed}
+
+
+def bench_advisor(seed: int) -> dict:
+    """Advisor cold compute vs warm probe over a fresh store."""
+    request = AdviseRequest(
+        platform=PLATFORM, op="gemm", precision="double", scale=SCALE,
+        scheduler="dmdas", seed=seed, objective=OBJECTIVE,
+        weights=None, energy_budget_j=None, configs=None, cpu_caps=None,
+    )
+    with tempfile.TemporaryDirectory() as root:
+        t0 = time.perf_counter()
+        cold, _ = compute_advice(request, root, fingerprint="bench")
+        wall_cold = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        warm = probe_advice(request, root, fingerprint="bench")
+        wall_warm = time.perf_counter() - t0
+    return {
+        "planner_advisor_warm_answered": warm is not None,
+        "planner_advisor_warm_identical": (
+            warm is not None and warm[0] == cold
+        ),
+        "planner_advisor_wall_cold_s": wall_cold,
+        "planner_advisor_wall_warm_s": wall_warm,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=Path("BENCH_planner.json"))
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    payload = {
+        "bench": "planner",
+        "planner_platform": PLATFORM,
+        "planner_scale": SCALE,
+        "planner_objective": OBJECTIVE,
+        "planner_seed": args.seed,
+    }
+    payload.update(bench_sweeps(args.seed))
+    payload.update(bench_configs(args.seed))
+    payload.update(bench_h100(args.seed))
+    payload.update(bench_govern(args.seed))
+    payload.update(bench_advisor(args.seed))
+    payload.pop("_seed", None)
+
+    exhaustive = (
+        payload["planner_sweep_point_sims_exhaustive"]
+        + payload["planner_config_sims_exhaustive"]
+    )
+    planner = (
+        payload["planner_sweep_point_sims_planner"]
+        + payload["planner_config_sims_planner"]
+    )
+    payload["planner_pipeline_sims_exhaustive"] = exhaustive
+    payload["planner_pipeline_sims_planner"] = planner
+    payload["planner_pipeline_sims_ratio"] = exhaustive / max(planner, 1)
+
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -56,7 +56,15 @@ win is the feature's claim); and in every scenario, faulted included, the
 audit must pass with the budget respected and no fault-free safe-mode
 entry.  All govern numbers are simulated-clock measurements of seeded
 deterministic runs, so they are machine-independent and compared raw.
-All modes can run in one invocation.
+
+The ``--planner`` flag gates a ``BENCH_planner.json`` capture (from
+``bench_planner.py``): the analytic planner must eliminate at least
+``PLANNER_SIMS_RATIO_FLOOR`` (5x) of the old pipeline's simulations on the
+benched grids, run **zero** Simulators on the analytic sweep path, and —
+non-negotiably — answer byte-identically to the exhaustive scan on every
+benched grid, with the pruning audit sound and the govern/advisor
+consumers unchanged.  Counts and identity flags are machine-independent
+and compared raw.  All modes can run in one invocation.
 
 Usage (what CI runs, with instrumentation off by construction)::
 
@@ -159,6 +167,53 @@ GOVERN_STEADY_MAKESPAN_CEILING_PCT = 2.0
 
 #: The three scenarios a govern capture reports, in bench order.
 GOVERN_SCENARIOS = ("steady", "shift", "fault")
+
+#: Metrics a ``BENCH_planner.json`` capture must carry.  The identity /
+#: soundness booleans are checked separately (``validate`` wants numerics).
+PLANNER_REQUIRED_METRICS = (
+    "planner_pipeline_sims_exhaustive",
+    "planner_pipeline_sims_planner",
+    "planner_pipeline_sims_ratio",
+    "planner_sweep_point_sims_exhaustive",
+    "planner_sweep_point_sims_planner",
+    "planner_config_sims_exhaustive",
+    "planner_config_sims_planner",
+    "planner_h100_n_configs",
+    "planner_h100_sims_planner",
+)
+
+#: Minimum old-pipeline/planner simulation ratio across the benched grids
+#: (ISSUE: ">= 5x fewer simulations on the fig3/table2 grids").  Simulation
+#: counts, not wall times — machine-independent, compared raw.  Measured
+#: ~27x: the analytic sweep replay alone removes every per-cap-point
+#: simulation (~256 of them) while answering byte-identically.
+PLANNER_SIMS_RATIO_FLOOR = 5.0
+
+#: Every boolean a planner capture must report as ``True`` — each one is an
+#: exactness or soundness contract, so a single ``False`` (or a missing
+#: flag) is a failure, not a warning.
+PLANNER_EXACTNESS_FLAGS = (
+    ("planner_sweep_identical",
+     "analytic sweep points differ from the discrete-event ground truth"),
+    ("planner_config_winner_identical",
+     "planner picked a different winner than the exhaustive config scan"),
+    ("planner_config_metrics_identical",
+     "planner winner metrics differ from the exhaustive scan's"),
+    ("planner_h100_winner_identical",
+     "planner winner differs from exhaustive on the 81-config H100 grid"),
+    ("planner_h100_metrics_identical",
+     "planner winner metrics differ from exhaustive on the H100 grid"),
+    ("planner_h100_bounds_sound",
+     "audit_plan found an estimate outside its slack window"),
+    ("planner_h100_unbeaten",
+     "audit_plan found a pruned config that beats the reported winner"),
+    ("planner_govern_static_identical",
+     "governor static-best scan differs from the historical inline loop"),
+    ("planner_advisor_warm_answered",
+     "warm advisor probe missed after a cold compute into the same store"),
+    ("planner_advisor_warm_identical",
+     "warm advisor answer differs from the cold advice document"),
+)
 
 
 class MalformedInput(ValueError):
@@ -430,6 +485,53 @@ def check_govern(current: dict) -> list[str]:
     return failures
 
 
+def check_planner(current: dict) -> list[str]:
+    """Gate a ``bench_planner.py`` capture (empty = pass).
+
+    Simulation counts and identity flags are machine-independent, so all
+    checks are raw — no baseline document, no machine-speed normalisation.
+    The wall-clock entries in the capture are un-gated evidence.
+    """
+    validate(current, "planner", PLANNER_REQUIRED_METRICS)
+    failures: list[str] = []
+
+    ratio = current["planner_pipeline_sims_ratio"]
+    print(
+        f"planner pipeline sims: "
+        f"{current['planner_pipeline_sims_exhaustive']:.0f} exhaustive vs "
+        f"{current['planner_pipeline_sims_planner']:.0f} planned "
+        f"-> {ratio:.1f}x (floor {PLANNER_SIMS_RATIO_FLOOR:.0f}x)"
+    )
+    if ratio < PLANNER_SIMS_RATIO_FLOOR:
+        failures.append(
+            f"planner only eliminated {ratio:.1f}x of the old pipeline's "
+            f"simulations (floor {PLANNER_SIMS_RATIO_FLOOR:.0f}x)"
+        )
+
+    point_sims = current["planner_sweep_point_sims_planner"]
+    print(
+        f"planner sweep point sims: {point_sims:.0f} "
+        f"(old pipeline {current['planner_sweep_point_sims_exhaustive']:.0f}; "
+        "contract: zero Simulators on the analytic path)"
+    )
+    if point_sims != 0:
+        failures.append(
+            f"analytic sweep path constructed {point_sims:.0f} Simulators; "
+            "the replay must be simulation-free"
+        )
+
+    print(
+        f"planner H100 grid: {current['planner_h100_sims_planner']:.0f} of "
+        f"{current['planner_h100_n_configs']:.0f} configs simulated "
+        f"(pruned {current.get('planner_h100_n_pruned', 0):.0f}, winner "
+        f"{current.get('planner_h100_winner', '?')})"
+    )
+    for flag, message in PLANNER_EXACTNESS_FLAGS:
+        if current.get(flag) is not True:
+            failures.append(f"{flag}: {message} (or the capture omitted it)")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", type=Path, nargs="?", default=None,
@@ -456,10 +558,15 @@ def main(argv=None) -> int:
         "--govern", type=Path, default=None, metavar="BENCH_GOVERN_JSON",
         help="also (or only) gate a bench_govern.py capture",
     )
+    parser.add_argument(
+        "--planner", type=Path, default=None, metavar="BENCH_PLANNER_JSON",
+        help="also (or only) gate a bench_planner.py capture",
+    )
     args = parser.parse_args(argv)
-    if args.current is None and args.service is None and args.govern is None:
-        parser.error("nothing to check: pass BENCH_perf.json, --service "
-                     "and/or --govern")
+    if (args.current is None and args.service is None and args.govern is None
+            and args.planner is None):
+        parser.error("nothing to check: pass BENCH_perf.json, --service, "
+                     "--govern and/or --planner")
 
     def load(path: Path, source: str) -> dict:
         doc = json.loads(path.read_text())
@@ -485,6 +592,8 @@ def main(argv=None) -> int:
             failures += check_service(load(args.service, "service"))
         if args.govern is not None:
             failures += check_govern(load(args.govern, "govern"))
+        if args.planner is not None:
+            failures += check_planner(load(args.planner, "planner"))
     except MalformedInput as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

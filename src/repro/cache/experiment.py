@@ -150,6 +150,38 @@ class ExperimentCache:
         self.hits += 1
         return True, decode_value(*entry)
 
+    def load_many(self, keys: list[str]) -> dict[str, tuple[bool, Any]]:
+        """Resolve N keys in one batched pass: ``{key: (hit, value)}``.
+
+        One store traversal instead of N :meth:`load` calls, with per-key
+        semantics (bus/span events, hit/miss/corrupt counters, corrupt
+        self-heal) identical to calling :meth:`load` on each key in input
+        order — the planner and ``parallel_starmap`` use this to resolve a
+        whole grid's cache hits before any pool work is submitted.
+        """
+        entries = self.store.read_many(keys)
+        out: dict[str, tuple[bool, Any]] = {}
+        for key in keys:
+            if key in out:
+                continue
+            entry = entries[key]
+            if isinstance(entry, CorruptEntry):
+                self.corrupt += 1
+                self.store.discard(key)
+                entry = None
+            result = "miss" if entry is None else "hit"
+            if self.bus is not None:
+                self.bus.publish({"type": "cache", "result": result, "key": key[:12]})
+            if _spans.ACTIVE is not None:
+                _spans.event("cache.lookup", result=result, key=key[:12])
+            if entry is None:
+                self.misses += 1
+                out[key] = (False, None)
+            else:
+                self.hits += 1
+                out[key] = (True, decode_value(*entry))
+        return out
+
     def save(self, key: str, value: Any, label: str = "") -> None:
         """Persist a computed value; storage failures degrade, never crash."""
         kind, payload = encode_value(value)

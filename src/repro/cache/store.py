@@ -91,6 +91,26 @@ class CacheStore:
             raise CorruptEntry(f"{path}: payload checksum mismatch")
         return str(doc.get("kind", "")), payload
 
+    def read_many(
+        self, keys: list[str]
+    ) -> dict[str, Optional[tuple[str, object]] | CorruptEntry]:
+        """Resolve N keys in one pass: ``{key: (kind, payload) | None | CorruptEntry}``.
+
+        One dict in input order (duplicates collapse), one entry per key.
+        Corruption is *returned*, not raised — callers decide per key whether
+        to self-heal — so one rotten entry cannot poison a batch.  Semantics
+        per key are exactly :meth:`read`'s.
+        """
+        out: dict[str, Optional[tuple[str, object]] | CorruptEntry] = {}
+        for key in keys:
+            if key in out:
+                continue
+            try:
+                out[key] = self.read(key)
+            except CorruptEntry as exc:
+                out[key] = exc
+        return out
+
     # ---------------------------------------------------------------- write
 
     def write(

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.hardware.catalog import gpu_spec
-from repro.core.sweep import SweepPoint, best_point, sweep_gemm
+from repro.core.sweep import SweepPoint, sweep_gemm
 
 
 @dataclass(frozen=True)
@@ -35,20 +35,33 @@ def best_cap_for_gemm(
     sizes: Sequence[int],
     step_pct: float = 2.0,
     cache: Optional["ExperimentCache"] = None,
+    objective: str = "efficiency",
 ) -> BestCap:
     """Scan matrix sizes, sweep caps for each, keep the global best.
 
     Reproduces the Table I procedure: the best efficiency usually lands on
     the largest size (better occupancy), with the cap strictly below TDP.
+    ``objective`` selects the figure of merit from the planner's pluggable
+    registry (``efficiency``/``gflops_per_w`` reproduces the paper; ``edp``,
+    ``ed2p``, ``energy``, ``makespan`` and ``gflops`` are the Patrou et al.
+    family); the sweeps themselves are objective-independent and shared
+    through the cache.
     """
+    from repro.core.planner import best_sweep_point, get_objective
+
     if not sizes:
         raise ValueError("need at least one matrix size")
+    obj = get_objective(objective)
     best: tuple[SweepPoint, SweepPoint, int] | None = None  # (point, default, n)
     for n in sizes:
         points = sweep_gemm(model, n, precision, step_pct=step_pct, cache=cache)
-        cand = best_point(points)
+        cand = best_sweep_point(points, objective)
         default = points[-1]  # the no-cap (TDP) point
-        if best is None or cand.efficiency > best[0].efficiency:
+        if best is None or (
+            obj.sweep_score(cand) > obj.sweep_score(best[0])
+            if obj.maximise
+            else obj.sweep_score(cand) < obj.sweep_score(best[0])
+        ):
             best = (cand, default, n)
     point, default, n = best
     return BestCap(
@@ -69,10 +82,13 @@ def best_cap_watts(
     nb: int,
     step_pct: float = 2.0,
     cache: Optional["ExperimentCache"] = None,
+    objective: str = "efficiency",
 ) -> float:
     """Table II ``P_best``: best cap for a single tile-sized GEMM."""
+    from repro.core.planner import best_sweep_point
+
     points = sweep_gemm(model, nb, precision, step_pct=step_pct, cache=cache)
-    return best_point(points).cap_w
+    return best_sweep_point(points, objective).cap_w
 
 
 def state_watts(model: str) -> tuple[float, float]:

@@ -152,6 +152,37 @@ def run_config_set(
     return {config.letters: m for config, m in zip(configs, metrics)}
 
 
+def best_config(
+    platform: str,
+    spec: OperationSpec,
+    configs: Sequence[CapConfig],
+    states: CapStates,
+    objective: str = "efficiency",
+    scheduler: str = "dmdas",
+    seed: int = 0,
+    cpu_caps: Optional[Mapping[int, float]] = None,
+    jobs: int = 1,
+    cache: Optional["ExperimentCache"] = None,
+    prune: bool = True,
+) -> "PlanResult":
+    """Arg-best over a configuration grid without simulating the whole grid.
+
+    Thin entry point to the bound-and-prune planner
+    (:func:`repro.core.planner.plan_configs`, lazy import — the planner
+    imports this module): identical winner and metrics to running
+    :func:`run_config_set` over the full grid and taking the best
+    ``objective`` score, but only configurations that could still win are
+    simulated.
+    """
+    from repro.core.planner import plan_configs
+
+    return plan_configs(
+        platform, spec, configs, states,
+        objective=objective, scheduler=scheduler, seed=seed,
+        cpu_caps=cpu_caps, jobs=jobs, cache=cache, prune=prune,
+    )
+
+
 @dataclass(frozen=True)
 class RepeatedMetrics:
     """Mean and spread over several seeded repetitions of one configuration.

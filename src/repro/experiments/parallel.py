@@ -123,15 +123,29 @@ def _cached_starmap(
     jobs: Optional[int],
     cache: Any,
 ) -> list[Any]:
-    """Resolve hits in-process, fan only the misses out, merge in order."""
+    """Resolve hits in-process, fan only the misses out, merge in order.
+
+    Key resolution is batched: all keys are computed first and looked up in
+    one ``load_many`` pass (when the cache provides it — duck-typed, same
+    no-repro-imports rule), cutting per-key store overhead on warm sweeps.
+    """
     results: list[Any] = [None] * len(calls)
+    keys: list[Optional[str]] = [cache.key_for(f, args) for f, args in calls]
+    load_many = getattr(cache, "load_many", None)
+    if load_many is not None:
+        wanted = [key for key in keys if key is not None]
+        loaded = load_many(wanted) if wanted else {}
+    else:
+        loaded = {
+            key: cache.load(key) for key in keys if key is not None
+        }
     pending: list[tuple[int, tuple[Callable[..., Any], tuple]]] = []
     for i, (f, args) in enumerate(calls):
-        key = cache.key_for(f, args)
+        key = keys[i]
         if key is None:
             pending.append((i, (f, args)))
             continue
-        hit, value = cache.load(key)
+        hit, value = loaded[key]
         if hit:
             results[i] = value
         else:

@@ -18,7 +18,7 @@ from repro.core.bestcap import best_cap_watts
 from repro.core.capconfig import CapConfig, CapStates, standard_configs
 from repro.core.tradeoff import OperationSpec
 from repro.experiments.runner import check_scale
-from repro.hardware.catalog import PLATFORMS, gpu_spec
+from repro.hardware.catalog import gpu_spec, platform_spec
 
 #: Paper Table II rows: (platform, op, precision) ->
 #: (N, Nt, paper P_best as % of TDP).
@@ -90,7 +90,7 @@ def cap_states(
     cache: Optional["ExperimentCache"] = None,
 ) -> CapStates:
     """The H/B/L watt values for one Table II row."""
-    spec = gpu_spec(PLATFORMS[platform].gpu_model)
+    spec = gpu_spec(platform_spec(platform).gpu_model)
     op_spec = operation_spec(platform, op, precision, scale)
     b = derived_best_cap_w(spec.model, precision, op_spec.nb, cache=cache)
     return CapStates(h_w=spec.cap_max_w, b_w=b, l_w=spec.cap_min_w)
@@ -98,8 +98,8 @@ def cap_states(
 
 def config_list(platform: str) -> list[CapConfig]:
     """The Figs. 3/4 configuration ladder for this platform's GPU count."""
-    return standard_configs(PLATFORMS[platform].n_gpus)
+    return standard_configs(platform_spec(platform).n_gpus)
 
 
 def platform_gpu_model(platform: str) -> str:
-    return PLATFORMS[platform].gpu_model
+    return platform_spec(platform).gpu_model

@@ -34,7 +34,10 @@ SIZES = {
 }
 
 
-def run(scale: str = "small", seed: int = 0, cache=None) -> ExperimentResult:
+def run(
+    scale: str = "small", seed: int = 0, cache=None, objective: str = "efficiency"
+) -> ExperimentResult:
+    """Table I rows; ``objective`` swaps the figure of merit (planner registry)."""
     check_scale(scale)
     result = ExperimentResult(
         name="table1",
@@ -45,7 +48,9 @@ def run(scale: str = "small", seed: int = 0, cache=None) -> ExperimentResult:
         ],
     )
     for (model, precision), (p_n, p_cap, p_save) in PAPER_TABLE1.items():
-        best = best_cap_for_gemm(model, precision, SIZES[scale][model], cache=cache)
+        best = best_cap_for_gemm(
+            model, precision, SIZES[scale][model], cache=cache, objective=objective
+        )
         result.rows.append(
             (
                 model,

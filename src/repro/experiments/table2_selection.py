@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.experiments.platforms import TABLE2_PAPER, cap_states, operation_spec
 from repro.experiments.runner import ExperimentResult, check_scale
-from repro.hardware.catalog import PLATFORMS, gpu_spec
+from repro.hardware.catalog import gpu_spec, platform_spec
 
 
 def run(scale: str = "small", seed: int = 0, cache=None) -> ExperimentResult:
@@ -25,7 +25,7 @@ def run(scale: str = "small", seed: int = 0, cache=None) -> ExperimentResult:
     for (platform, op, precision), (n_paper, nb, paper_pct) in TABLE2_PAPER.items():
         spec = operation_spec(platform, op, precision, scale)
         states = cap_states(platform, op, precision, scale, cache=cache)
-        tdp = gpu_spec(PLATFORMS[platform].gpu_model).tdp_w
+        tdp = gpu_spec(platform_spec(platform).gpu_model).tdp_w
         result.rows.append(
             (
                 platform,

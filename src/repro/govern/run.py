@@ -30,7 +30,6 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
 
-from repro.cluster.farm import FarmGPU, GPUFarm
 from repro.core.capconfig import CapConfig, CapStates
 from repro.core.tradeoff import OperationSpec
 from repro.energy.meters import EnergyMeter
@@ -40,7 +39,7 @@ from repro.faults.nvml_guard import apply_caps_verified
 from repro.faults.plan import FaultPlan
 from repro.faults.recovery import RecoveryManager
 from repro.govern.controller import GovernorConfig, PowerBudgetGovernor
-from repro.hardware.catalog import PLATFORMS, build_platform
+from repro.hardware.catalog import build_platform
 from repro.kernels.gemm import GemmKernel
 from repro.obs.capture import attach_stream, result_record
 from repro.obs.decisions import DecisionLog
@@ -145,28 +144,19 @@ def static_best_config(
     efficiency for the phase's tile kernel (ties break toward the first in
     ladder order, which is deterministic).  ``L…L`` sums to the platform's
     cap floor, so a valid budget always has at least one candidate.
+
+    Delegates to the planner's analytic ladder scan
+    (:func:`repro.core.planner.best_ladder_under_budget`), which is
+    float-for-float the historical in-line loop: zero Simulator runs, same
+    farm model, same tie-breaking.
     """
+    from repro.core.planner import best_ladder_under_budget
     from repro.experiments.platforms import config_list
 
     kernel = GemmKernel.square(phase.spec.nb, phase.precision)
-    model = PLATFORMS[platform].gpu_model
-    n_gpus = PLATFORMS[platform].n_gpus
-    farm = GPUFarm([FarmGPU(model, kernel) for _ in range(n_gpus)])
-    best: Optional[tuple[CapConfig, list[float]]] = None
-    best_eff = -1.0
-    for config in config_list(platform):
-        watts = config.watts(phase.states)
-        if sum(watts) > budget_w + 1e-6:
-            continue
-        eff = farm.total_efficiency(watts)
-        if eff > best_eff:
-            best, best_eff = (config, watts), eff
-    if best is None:
-        raise ValueError(
-            f"budget {budget_w:.0f} W below the platform floor "
-            f"{farm.min_budget():.0f} W"
-        )
-    return best
+    return best_ladder_under_budget(
+        platform, kernel, phase.states, budget_w, configs=config_list(platform)
+    )
 
 
 def _pct(value: float, base: float) -> float:

@@ -133,10 +133,44 @@ def _v100_pcie() -> GPUSpec:
     )
 
 
+def _h100_sxm5() -> GPUSpec:
+    """H100-SXM5 calibrated against the H100-vs-H200 capping study.
+
+    arXiv 2604.11391 measures HPL-class workloads on 700 W SXM parts: the
+    efficiency-optimal cap sits near 60 % TDP (~430 W) at roughly 87 %
+    performance, draw saturates well below the 700 W limit, and the
+    cap floor is 200 W where performance has fallen to ~27 % with FP64
+    tensor-core throughput around 60 Tflop/s effective GEMM.  Single
+    precision (non-tensor, as elsewhere in the catalog) peaks lower and
+    reaches its best efficiency slightly deeper (~380 W).
+    """
+    return GPUSpec(
+        model="H100-SXM5-80GB",
+        memory_gb=80.0,
+        tdp_w=700.0,
+        cap_min_w=200.0,
+        cap_max_w=700.0,
+        idle_w=70.0,
+        n_sm=132,
+        mem_bw_gbs=3350.0,
+        peak_gflops={"double": 60000.0, "single": 62000.0},
+        power_profiles=_profiles(
+            {
+                "double": (660.0, 430.0, 0.875, (200.0, 0.28)),
+                "single": (620.0, 380.0, 0.84, (200.0, 0.33)),
+            },
+            cap_min=200.0,
+            f_min=0.10,
+        ),
+        tensor_cores={"double": True, "single": False},
+    )
+
+
 _GPU_FACTORIES = {
     "A100-SXM4-40GB": _a100_sxm4,
     "A100-PCIE-40GB": _a100_pcie,
     "V100-PCIE-32GB": _v100_pcie,
+    "H100-SXM5-80GB": _h100_sxm5,
 }
 
 _GPU_CACHE: dict[str, GPUSpec] = {}
@@ -196,6 +230,7 @@ EPYC_7513 = CPUSpec(
 
 PCIE3_X16 = LinkSpec(name="pcie3", bandwidth_gbs=12.0)
 PCIE4_X16 = LinkSpec(name="pcie4", bandwidth_gbs=21.0)
+PCIE5_X16 = LinkSpec(name="pcie5", bandwidth_gbs=50.0)
 
 # ----------------------------------------------------------------- platforms
 
@@ -248,8 +283,33 @@ PLATFORMS: dict[str, PlatformSpec] = {
 }
 
 
+#: Fleet extensions beyond the paper's three machines (ROADMAP item 3).
+#: Kept out of ``PLATFORMS`` so the paper-figure drivers and their golden
+#: outputs are untouched; resolvable everywhere through
+#: :func:`platform_spec` / :func:`build_platform`.
+EXTENDED_PLATFORMS: dict[str, PlatformSpec] = {
+    "32-AMD-4-H100": PlatformSpec(
+        name="32-AMD-4-H100",
+        grid5000_host="(hypothetical DGX-class node)",
+        cpu_models=("EPYC-7513",),
+        gpu_model="H100-SXM5-80GB",
+        n_gpus=4,
+        link=PCIE5_X16,
+    ),
+}
+
+
 def platform_names() -> list[str]:
     return list(PLATFORMS)
+
+
+def platform_spec(name: str) -> PlatformSpec:
+    """Resolve a platform by name across the paper + extended fleets."""
+    spec = PLATFORMS.get(name) or EXTENDED_PLATFORMS.get(name)
+    if spec is None:
+        have = platform_names() + list(EXTENDED_PLATFORMS)
+        raise KeyError(f"unknown platform {name!r}; have {have}")
+    return spec
 
 
 def build_platform(
@@ -257,11 +317,8 @@ def build_platform(
     clock: Clock,
     tracer: Optional[Tracer] = None,
 ) -> Node:
-    """Instantiate one of the paper's platforms on a simulation clock."""
-    try:
-        spec = PLATFORMS[name]
-    except KeyError:
-        raise KeyError(f"unknown platform {name!r}; have {platform_names()}") from None
+    """Instantiate a catalog platform (paper or extended) on a sim clock."""
+    spec = platform_spec(name)
     return Node(
         name=name,
         clock=clock,

@@ -21,15 +21,18 @@ from typing import Optional
 from repro.cache import ExperimentCache
 from repro.cache.keys import run_key
 from repro.core.capconfig import CapConfig
+from repro.core.planner import OBJECTIVES
 from repro.experiments.platforms import cap_states, config_list, operation_spec
-from repro.hardware.catalog import PLATFORMS
+from repro.hardware.catalog import platform_spec
 from repro.service.protocol import AdviseRequest
 
 #: Advice document schema; bump on layout changes.
 ADVICE_SCHEMA = 1
 
-#: Objectives where a larger score is better (the rest minimise).
-_MAXIMISE = {"efficiency", "gflops"}
+#: Objectives where a larger score is better (the rest minimise).  Sourced
+#: from the planner's registry so service and planner can never rank a
+#: shared objective in opposite directions.
+_MAXIMISE = {name for name, obj in OBJECTIVES.items() if obj.maximise}
 
 
 class ColdMiss(Exception):
@@ -56,6 +59,13 @@ class ProbeCache(ExperimentCache):
             raise ColdMiss(key)
         return hit, value
 
+    def load_many(self, keys: list):
+        loaded = super().load_many(keys)
+        for key, (hit, _) in loaded.items():
+            if not hit:
+                raise ColdMiss(key)
+        return loaded
+
     def save(self, key: str, value, label: str = "") -> None:
         # A probe never computes, so it has nothing to persist; seeing a
         # save means a miss slipped through — fail loudly in development.
@@ -76,7 +86,7 @@ def evaluate(request: AdviseRequest, cache: ExperimentCache, jobs: int = 1) -> d
     and the ``weighted`` normalisation) even when the caller's explicit
     candidate list omits it.
     """
-    n_gpus = PLATFORMS[request.platform].n_gpus
+    n_gpus = platform_spec(request.platform).n_gpus
     default = "H" * n_gpus
     candidates = (
         list(request.configs) if request.configs is not None
@@ -158,20 +168,17 @@ def evaluate(request: AdviseRequest, cache: ExperimentCache, jobs: int = 1) -> d
 
 
 def _score(request: AdviseRequest, m, base) -> float:
-    """The objective value of one candidate (orientation per objective)."""
-    obj = request.objective
-    if obj == "efficiency":
-        return m.efficiency
-    if obj == "gflops":
-        return m.gflops
-    if obj == "energy":
-        return m.energy_j
-    if obj == "makespan":
-        return m.makespan_s
-    if obj == "edp":
-        return m.energy_j * m.makespan_s
-    if obj == "ed2p":
-        return m.energy_j * m.makespan_s ** 2
+    """The objective value of one candidate (orientation per objective).
+
+    Registry objectives evaluate through the planner's shared
+    :class:`~repro.core.planner.Objective` definitions — the exact float
+    expressions the bound-and-prune scan ranks with, so advisor answers and
+    planner winners can never disagree.  ``weighted`` stays service-local
+    (it needs the request's weights and the all-H baseline).
+    """
+    obj = OBJECTIVES.get(request.objective)
+    if obj is not None:
+        return obj.score(m)
     weights = request.weights_dict()  # "weighted": normalised blend, minimise
     return (
         weights.get("energy", 0.0) * (m.energy_j / base.energy_j)

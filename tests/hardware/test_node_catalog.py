@@ -138,8 +138,13 @@ def test_gpu_spec_cached():
 
 def test_unknown_gpu_model():
     with pytest.raises(KeyError):
-        gpu_spec("H100-SXM5")
+        gpu_spec("H100-SXM5")  # the catalog entry is the full -80GB name
 
 
 def test_all_models_listed():
-    assert set(gpu_models()) == {"A100-SXM4-40GB", "A100-PCIE-40GB", "V100-PCIE-32GB"}
+    assert set(gpu_models()) == {
+        "A100-SXM4-40GB",
+        "A100-PCIE-40GB",
+        "V100-PCIE-32GB",
+        "H100-SXM5-80GB",
+    }

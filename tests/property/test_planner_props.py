@@ -1,0 +1,75 @@
+"""Property tests: the planner is indistinguishable from the exhaustive scan.
+
+Two invariants, sampled across random platforms/operations/objectives/seeds:
+
+1. ``plan_configs`` returns the byte-identical winner and metrics that the
+   brute-force ``run_config_set`` + argmin would — pruning must be invisible.
+2. The analytic sweep replay equals the discrete-event sweep point-for-point
+   for arbitrary (model, size, step) combinations, including steps whose
+   percentage grid is not exactly representable in binary.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.planner import _rank, get_objective, plan_configs
+from repro.core.sweep import simulated_sweep_gemm, sweep_gemm
+from repro.core.tradeoff import run_config_set
+from repro.experiments.platforms import (
+    PAPER_CPU_CAPS,
+    cap_states,
+    config_list,
+    operation_spec,
+)
+from repro.hardware.catalog import platform_names
+
+_OBJECTIVES = st.sampled_from(["efficiency", "edp", "ed2p", "energy", "makespan"])
+
+
+@settings(max_examples=4, deadline=None)
+@given(
+    platform=st.sampled_from(sorted(platform_names())),
+    op=st.sampled_from(["gemm", "potrf"]),
+    precision=st.sampled_from(["double", "single"]),
+    objective=_OBJECTIVES,
+    seed=st.integers(min_value=0, max_value=3),
+)
+def test_pruned_argmin_equals_exhaustive_argmin(
+    platform, op, precision, objective, seed
+):
+    spec = operation_spec(platform, op, precision, "tiny")
+    states = cap_states(platform, op, precision, "tiny")
+    configs = config_list(platform)
+    cpu_caps = PAPER_CPU_CAPS.get(platform)
+
+    plan = plan_configs(
+        platform, spec, configs, states,
+        objective=objective, seed=seed, cpu_caps=cpu_caps,
+    )
+
+    obj = get_objective(objective)
+    metrics = run_config_set(
+        platform, spec, configs, states, seed=seed, cpu_caps=cpu_caps
+    )
+    order = {c.letters: i for i, c in enumerate(configs)}
+    winner = min(
+        metrics,
+        key=lambda lt: (_rank(obj, obj.score(metrics[lt])), order[lt]),
+    )
+    assert plan.winner == winner
+    assert plan.metrics == metrics[winner]
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    model=st.sampled_from(
+        ["V100-PCIE-32GB", "A100-SXM4-40GB", "A100-PCIE-40GB", "H100-SXM5-80GB"]
+    ),
+    n=st.sampled_from([512, 1024, 3072]),
+    precision=st.sampled_from(["double", "single"]),
+    step=st.sampled_from([2.0, 3.7, 7.3, 10.0, 12.5]),
+)
+def test_analytic_sweep_equals_simulated_sweep(model, n, precision, step):
+    assert sweep_gemm(model, n, precision, step_pct=step) == simulated_sweep_gemm(
+        model, n, precision, step_pct=step
+    )
